@@ -1,0 +1,133 @@
+// Experiment E8 — the containment picture among safety criteria
+// (Section 2 of the paper):
+//
+//   GT91-allowed  (function-free)      subset of  em-allowed
+//   AB88 range-restricted              subset of  em-allowed (claimed
+//                                      "strictly weaker")
+//   Top91 safe                         subset of  em-allowed ("strictly
+//                                      weaker")
+//
+// We measure acceptance counts over a large random corpus, verify zero
+// containment violations, and exhibit the paper's strictness witnesses.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/calculus/analysis.h"
+#include "src/calculus/parser.h"
+#include "src/core/random_query.h"
+#include "src/safety/allowed.h"
+#include "src/safety/em_allowed.h"
+
+namespace {
+
+void Report() {
+  emcalc::bench::Banner(
+      "E8: safety-criteria containment",
+      "em-allowed strictly contains GT91 allowed, AB88 range-restriction, "
+      "and Top91 safe; witnesses: q2 (em, not rr), q5 (em, not safe)");
+
+  emcalc::AstContext ctx;
+  emcalc::RandomQueryOptions options;
+  options.max_depth = 3;
+  emcalc::RandomQueryGen gen(ctx, 4242, options);
+  int n = 1500;
+  int em = 0, gt = 0, rr = 0, safe = 0;
+  int gt_not_em = 0, rr_not_em = 0, safe_not_em = 0;
+  int em_not_rr = 0, em_not_safe = 0;
+  for (int i = 0; i < n; ++i) {
+    emcalc::Query q = gen.Next();
+    bool is_em = emcalc::CheckEmAllowed(ctx, q).em_allowed;
+    bool is_gt = emcalc::IsAllowedGT91(ctx, q.body);
+    bool is_rr = emcalc::IsRangeRestricted(ctx, q.body);
+    bool is_safe = emcalc::IsTop91Safe(ctx, q.body);
+    em += is_em;
+    gt += is_gt;
+    rr += is_rr;
+    safe += is_safe;
+    gt_not_em += is_gt && !is_em;
+    rr_not_em += is_rr && !is_em;
+    safe_not_em += is_safe && !is_em;
+    em_not_rr += is_em && !is_rr;
+    em_not_safe += is_em && !is_safe;
+  }
+  std::printf("random corpus (n=%d):\n", n);
+  std::printf("  em-allowed        : %4d\n", em);
+  std::printf("  GT91 allowed      : %4d   (accepted but not em: %d)\n", gt,
+              gt_not_em);
+  std::printf("  AB88 range-restr. : %4d   (accepted but not em: %d)\n", rr,
+              rr_not_em);
+  std::printf("  Top91 safe        : %4d   (accepted but not em: %d)\n",
+              safe, safe_not_em);
+  std::printf("  strictness        : em-but-not-rr %d, em-but-not-safe %d\n",
+              em_not_rr, em_not_safe);
+  std::printf("  containment violations: %d (must be 0; rr is incomparable "
+              "in general)\n",
+              gt_not_em + safe_not_em);
+
+  std::printf("\npaper witnesses:\n");
+  struct Witness {
+    const char* label;
+    const char* text;
+  };
+  const Witness ws[] = {
+      {"q2 em-allowed, not range-restricted",
+       "R(x) and exists y (f(x) = y and not R(y))"},
+      {"q5 em-allowed, not Top91-safe",
+       "(R(x) and f(x) = y) or (S(y) and g(y) = x)"},
+  };
+  for (const Witness& w : ws) {
+    auto f = emcalc::ParseFormula(ctx, w.text);
+    if (!f.ok()) continue;
+    std::printf("  %-40s em=%d gt91=%d rr=%d safe=%d\n", w.label,
+                emcalc::CheckEmAllowed(ctx, *f).em_allowed,
+                emcalc::IsAllowedGT91(ctx, *f),
+                emcalc::IsRangeRestricted(ctx, *f),
+                emcalc::IsTop91Safe(ctx, *f));
+  }
+  std::printf("\n");
+}
+
+// Relative costs of the four checkers over the same corpus.
+template <typename Fn>
+void RunChecker(benchmark::State& state, Fn&& fn) {
+  emcalc::AstContext ctx;
+  emcalc::RandomQueryGen gen(ctx, 4242);
+  std::vector<emcalc::Query> corpus;
+  for (int i = 0; i < 64; ++i) corpus.push_back(gen.Next());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fn(ctx, corpus[i++ % corpus.size()]));
+  }
+}
+
+void BM_CheckEmAllowed(benchmark::State& state) {
+  RunChecker(state, [](emcalc::AstContext& ctx, const emcalc::Query& q) {
+    return emcalc::CheckEmAllowed(ctx, q).em_allowed;
+  });
+}
+void BM_CheckGT91(benchmark::State& state) {
+  RunChecker(state, [](emcalc::AstContext& ctx, const emcalc::Query& q) {
+    return emcalc::IsAllowedGT91(ctx, q.body);
+  });
+}
+void BM_CheckRangeRestricted(benchmark::State& state) {
+  RunChecker(state, [](emcalc::AstContext& ctx, const emcalc::Query& q) {
+    return emcalc::IsRangeRestricted(ctx, q.body);
+  });
+}
+void BM_CheckTop91Safe(benchmark::State& state) {
+  RunChecker(state, [](emcalc::AstContext& ctx, const emcalc::Query& q) {
+    return emcalc::IsTop91Safe(ctx, q.body);
+  });
+}
+BENCHMARK(BM_CheckEmAllowed);
+BENCHMARK(BM_CheckGT91);
+BENCHMARK(BM_CheckRangeRestricted);
+BENCHMARK(BM_CheckTop91Safe);
+
+}  // namespace
+
+EMCALC_BENCH_MAIN(Report)

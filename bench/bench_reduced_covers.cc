@@ -1,0 +1,112 @@
+// Experiment E3 — reduced covers keep the FinD bookkeeping of the
+// translation small (Section 8 of the paper: "a succinct class of
+// 'reduced' covers ... improves the efficiency of the translation
+// algorithm").
+//
+// Workload: formulas whose bd computation stresses the disjunction meet —
+// k-way disjunctions of conjunctive blocks over v variables — analyzed
+// with reduced covers on (rbd) and off (naive bd), plus the exact
+// exponential meet for reference at small sizes.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/calculus/parser.h"
+#include "src/finds/bound.h"
+
+namespace {
+
+// Builds {(R(x0) and f(x0)=x1 and ... f(x_{v-2})=x_{v-1}) or ... } with k
+// disjuncts whose binding chains start at rotated positions — every
+// disjunct bounds all variables, via different FinD chains.
+std::string ChainDisjunction(int k, int v) {
+  std::string out;
+  for (int d = 0; d < k; ++d) {
+    if (d > 0) out += " or ";
+    std::string block = "(R(x" + std::to_string(d % v) + ")";
+    for (int i = 0; i < v - 1; ++i) {
+      int from = (d + i) % v;
+      int to = (d + i + 1) % v;
+      block += " and f(x" + std::to_string(from) + ") = x" +
+               std::to_string(to);
+    }
+    block += ")";
+    out += block;
+  }
+  return out;
+}
+
+void Report() {
+  emcalc::bench::Banner(
+      "E3: reduced covers (rbd) vs naive bd",
+      "reduced covers stay succinct as disjunctions grow; the translation's "
+      "FinD bookkeeping stays linear where naive covers accumulate "
+      "redundant dependencies");
+  std::printf("%-10s %-6s %12s %12s\n", "disjuncts", "vars", "rbd size",
+              "naive size");
+  for (int k : {2, 4, 8}) {
+    for (int v : {3, 5, 8}) {
+      std::string text = ChainDisjunction(k, v);
+      emcalc::AstContext ctx;
+      auto f = emcalc::ParseFormula(ctx, text);
+      if (!f.ok()) continue;
+      emcalc::BoundOptions reduced;
+      emcalc::BoundOptions naive;
+      naive.use_reduced_covers = false;
+      emcalc::FinDSet a = emcalc::BoundingFinDs(ctx, *f, reduced);
+      emcalc::FinDSet b = emcalc::BoundingFinDs(ctx, *f, naive);
+      if (!a.EquivalentTo(b)) {
+        std::printf("COVERS DISAGREE at k=%d v=%d\n", k, v);
+        continue;
+      }
+      std::printf("%-10d %-6d %12zu %12zu\n", k, v, a.size(), b.size());
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_Bd(benchmark::State& state, bool use_reduced) {
+  int k = static_cast<int>(state.range(0));
+  int v = static_cast<int>(state.range(1));
+  emcalc::AstContext ctx;
+  auto f = emcalc::ParseFormula(ctx, ChainDisjunction(k, v));
+  if (!f.ok()) {
+    state.SkipWithError("parse");
+    return;
+  }
+  emcalc::BoundOptions options;
+  options.use_reduced_covers = use_reduced;
+  for (auto _ : state) {
+    emcalc::FinDSet bd = emcalc::BoundingFinDs(ctx, *f, options);
+    benchmark::DoNotOptimize(bd.size());
+  }
+}
+
+void BM_BdReduced(benchmark::State& state) { BM_Bd(state, true); }
+void BM_BdNaive(benchmark::State& state) { BM_Bd(state, false); }
+
+BENCHMARK(BM_BdReduced)
+    ->Args({2, 3})->Args({2, 8})->Args({4, 5})->Args({8, 5})->Args({8, 8});
+BENCHMARK(BM_BdNaive)
+    ->Args({2, 3})->Args({2, 8})->Args({4, 5})->Args({8, 5})->Args({8, 8});
+
+// The exact exponential meet, for calibration at small variable counts.
+void BM_BdExactMeet(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  int v = static_cast<int>(state.range(1));
+  emcalc::AstContext ctx;
+  auto f = emcalc::ParseFormula(ctx, ChainDisjunction(k, v));
+  emcalc::BoundOptions options;
+  options.exact_max_vars = 12;
+  for (auto _ : state) {
+    emcalc::FinDSet bd = emcalc::BoundingFinDs(ctx, *f, options);
+    benchmark::DoNotOptimize(bd.size());
+  }
+}
+BENCHMARK(BM_BdExactMeet)->Args({2, 3})->Args({4, 5})->Args({8, 5});
+
+}  // namespace
+
+EMCALC_BENCH_MAIN(Report)

@@ -1,0 +1,76 @@
+// Experiment E7 — the em-allowed analysis as a practical compile-time
+// check: throughput over random formulas of growing size, with reduced
+// covers on and off.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/calculus/analysis.h"
+#include "src/core/random_query.h"
+#include "src/safety/em_allowed.h"
+
+namespace {
+
+// Pre-generates a batch of random queries of roughly the requested size.
+std::vector<emcalc::Query> Corpus(emcalc::AstContext& ctx, int depth,
+                                  int conjuncts, uint64_t seed, int count) {
+  emcalc::RandomQueryOptions options;
+  options.max_depth = depth;
+  options.max_conjuncts = conjuncts;
+  options.max_vars = 5;
+  emcalc::RandomQueryGen gen(ctx, seed, options);
+  std::vector<emcalc::Query> out;
+  for (int i = 0; i < count; ++i) out.push_back(gen.Next());
+  return out;
+}
+
+void Report() {
+  emcalc::bench::Banner(
+      "E7: em-allowed checking is a cheap static analysis",
+      "safety checking of realistic formulas costs microseconds and scales "
+      "with formula size; reduced covers keep the FinD sets small");
+  for (int depth : {2, 3, 4}) {
+    emcalc::AstContext ctx;
+    std::vector<emcalc::Query> corpus = Corpus(ctx, depth, 4, 99, 200);
+    int total_size = 0;
+    int accepted = 0;
+    for (const emcalc::Query& q : corpus) {
+      total_size += emcalc::FormulaSize(q.body);
+      if (emcalc::CheckEmAllowed(ctx, q).em_allowed) ++accepted;
+    }
+    std::printf(
+        "depth %d: %zu formulas, avg size %.1f nodes, %d/%zu em-allowed\n",
+        depth, corpus.size(),
+        static_cast<double>(total_size) / corpus.size(), accepted,
+        corpus.size());
+  }
+  std::printf("\n");
+}
+
+void BM_EmAllowedCheck(benchmark::State& state, bool reduced) {
+  emcalc::AstContext ctx;
+  int depth = static_cast<int>(state.range(0));
+  std::vector<emcalc::Query> corpus = Corpus(ctx, depth, 4, 99, 64);
+  emcalc::BoundOptions options;
+  options.use_reduced_covers = reduced;
+  size_t i = 0;
+  for (auto _ : state) {
+    const emcalc::Query& q = corpus[i++ % corpus.size()];
+    auto r = emcalc::CheckEmAllowed(ctx, q, options);
+    benchmark::DoNotOptimize(r.em_allowed);
+  }
+}
+void BM_EmAllowedReduced(benchmark::State& state) {
+  BM_EmAllowedCheck(state, true);
+}
+void BM_EmAllowedNaive(benchmark::State& state) {
+  BM_EmAllowedCheck(state, false);
+}
+BENCHMARK(BM_EmAllowedReduced)->Arg(2)->Arg(3)->Arg(4);
+BENCHMARK(BM_EmAllowedNaive)->Arg(2)->Arg(3)->Arg(4);
+
+}  // namespace
+
+EMCALC_BENCH_MAIN(Report)

@@ -1,0 +1,90 @@
+// Experiment E6 — necessity of transformation T10 (Section 7).
+//
+// The q4 family: B(x) and not( AND over k blocks of
+// ((f_i(x) != y and g_i(x) != y) or R_i(x,y)) ). The paper: these queries
+// are em-allowed (and Top91-safe) but cannot be transformed into RANF or
+// the algebra with the GT91 transformation set alone; T10 — pushing the
+// negation through a conjunction when that exposes bounding information
+// hidden in negated inequalities — makes them translatable.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/calculus/parser.h"
+#include "src/safety/allowed.h"
+#include "src/safety/em_allowed.h"
+#include "src/translate/pipeline.h"
+
+namespace {
+
+// k >= 1 blocks; every block hides the bounding for y behind negated
+// inequalities, guarded by a relation atom.
+std::string Q4Family(int k) {
+  std::string inner;
+  for (int i = 0; i < k; ++i) {
+    if (i > 0) inner += " and ";
+    std::string fi = "f" + std::to_string(i);
+    std::string gi = "g" + std::to_string(i);
+    std::string ri = "REL" + std::to_string(i);
+    inner += "((" + fi + "(x) != y and " + gi + "(x) != y) or " + ri +
+             "(x, y))";
+  }
+  return "{x, y | B(x) and not (" + inner + ")}";
+}
+
+void Report() {
+  emcalc::bench::Banner(
+      "E6: T10 ablation on the q4 family",
+      "q4-family queries are em-allowed and Top91-safe but UNTRANSLATABLE "
+      "with GT91's transformations (T10 off); with T10 every instance "
+      "translates");
+  std::printf("%-8s %-10s %-10s %-12s %-14s %10s\n", "blocks", "em-allowed",
+              "Top91safe", "GT91-only", "with-T10", "plan nodes");
+  for (int k : {1, 2, 3, 4, 6, 8}) {
+    std::string text = Q4Family(k);
+    emcalc::AstContext ctx;
+    auto q = emcalc::ParseQuery(ctx, text);
+    if (!q.ok()) continue;
+    bool em = emcalc::CheckEmAllowed(ctx, *q).em_allowed;
+    bool safe = emcalc::IsTop91Safe(ctx, q->body);
+    emcalc::TranslateOptions gt91;
+    gt91.enable_t10 = false;
+    bool gt_ok = emcalc::TranslateQuery(ctx, *q, gt91).ok();
+    auto with = emcalc::TranslateQuery(ctx, *q);
+    std::printf("%-8d %-10s %-10s %-12s %-14s %10d\n", k, em ? "yes" : "no",
+                safe ? "yes" : "no", gt_ok ? "TRANSLATES" : "fails",
+                with.ok() ? "translates" : "FAILS",
+                with.ok() ? with->plan->NodeCount() : -1);
+  }
+  std::printf("\n");
+}
+
+void BM_Q4Translate(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  std::string text = Q4Family(k);
+  for (auto _ : state) {
+    emcalc::AstContext ctx;
+    auto q = emcalc::ParseQuery(ctx, text);
+    auto t = emcalc::TranslateQuery(ctx, *q);
+    benchmark::DoNotOptimize(t.ok());
+  }
+}
+BENCHMARK(BM_Q4Translate)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Q4SafetyCheckOnly(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  std::string text = Q4Family(k);
+  emcalc::AstContext ctx;
+  auto q = emcalc::ParseQuery(ctx, text);
+  for (auto _ : state) {
+    auto r = emcalc::CheckEmAllowed(ctx, *q);
+    benchmark::DoNotOptimize(r.em_allowed);
+  }
+}
+BENCHMARK(BM_Q4SafetyCheckOnly)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+EMCALC_BENCH_MAIN(Report)

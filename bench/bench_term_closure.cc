@@ -1,0 +1,115 @@
+// Experiment E5 — embedded domain independence and term^k closures
+// (Section 4 / Theorem 6.6).
+//
+// Two series: (a) the growth of term^k(adom) with the closure level k and
+// the function signature (unary vs binary), which is the price the
+// *baseline* translation pays; (b) the stabilization of an em-allowed
+// query's answer at level ||phi|| - 1 — deeper closures change nothing.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/calculus/parser.h"
+#include "src/core/workload.h"
+#include "src/eval/calculus_eval.h"
+#include "src/storage/adom.h"
+
+namespace {
+
+emcalc::ValueSet Base(int n) {
+  emcalc::ValueSet out;
+  for (int i = 0; i < n; ++i) out.push_back(emcalc::Value::Int(i * 3));
+  return out;
+}
+
+void Report() {
+  emcalc::bench::Banner(
+      "E5: term^k closure growth and Theorem 6.6 level stability",
+      "term^k grows linearly per level for unary functions and "
+      "quadratically for binary ones; em-allowed answers stop changing at "
+      "level ||phi||-1");
+  emcalc::FunctionRegistry reg = emcalc::BuiltinFunctions();
+
+  std::printf("closure growth, |base| = 100:\n");
+  std::printf("%-22s %8s %8s %8s %8s\n", "functions", "k=0", "k=1", "k=2",
+              "k=3");
+  struct Sig {
+    const char* label;
+    std::vector<std::pair<std::string, int>> fns;
+  };
+  const Sig sigs[] = {
+      {"{succ/1}", {{"succ", 1}}},
+      {"{succ/1, double/1}", {{"succ", 1}, {"double", 1}}},
+      {"{plus/2}", {{"plus", 2}}},
+  };
+  for (const Sig& sig : sigs) {
+    std::printf("%-22s", sig.label);
+    for (int k = 0; k <= 3; ++k) {
+      auto closed = emcalc::TermClosure(Base(100), sig.fns, reg, k,
+                                        50'000'000);
+      std::printf(" %8zu", closed.ok() ? (*closed).size() : 0);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nanswer stability (em-allowed query, growing level k):\n");
+  emcalc::AstContext ctx;
+  auto q = emcalc::ParseQuery(
+      ctx, "{x, y | R(x) and succ(succ(x)) = y and not S(y)}");
+  if (!q.ok()) return;
+  emcalc::Database db;
+  for (int i = 0; i < 20; ++i) {
+    (void)db.Insert("R", {emcalc::Value::Int(i)});
+    (void)db.Insert("S", {emcalc::Value::Int(2 * i)});
+  }
+  size_t prev = SIZE_MAX;
+  for (int k = 2; k <= 6; ++k) {
+    emcalc::CalculusEvalOptions options;
+    options.level = k;
+    options.domain_budget = 1'000'000;
+    auto r = emcalc::EvaluateCalculus(ctx, *q, db, reg, options);
+    if (!r.ok()) break;
+    std::printf("  level %d: %zu answers%s\n", k, r->size(),
+                prev == r->size() ? " (stable)" : "");
+    prev = r->size();
+  }
+  std::printf("\n");
+}
+
+void BM_TermClosure(benchmark::State& state) {
+  emcalc::FunctionRegistry reg = emcalc::BuiltinFunctions();
+  int base = static_cast<int>(state.range(0));
+  int level = static_cast<int>(state.range(1));
+  bool binary = state.range(2) != 0;
+  std::vector<std::pair<std::string, int>> fns;
+  if (binary) {
+    fns.emplace_back("plus", 2);
+  } else {
+    fns.emplace_back("succ", 1);
+    fns.emplace_back("double", 1);
+  }
+  size_t out_size = 0;
+  for (auto _ : state) {
+    auto closed = emcalc::TermClosure(Base(base), fns, reg, level,
+                                      50'000'000);
+    if (!closed.ok()) {
+      state.SkipWithError("budget");
+      return;
+    }
+    out_size = closed->size();
+    benchmark::DoNotOptimize(out_size);
+  }
+  state.counters["values"] = static_cast<double>(out_size);
+}
+BENCHMARK(BM_TermClosure)
+    ->Args({100, 1, 0})
+    ->Args({100, 3, 0})
+    ->Args({1000, 3, 0})
+    ->Args({100, 1, 1})
+    ->Args({100, 2, 1})
+    ->Args({300, 1, 1});
+
+}  // namespace
+
+EMCALC_BENCH_MAIN(Report)

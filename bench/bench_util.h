@@ -1,0 +1,35 @@
+// Shared helpers for the experiment binaries: a tiny report printer used
+// to emit the paper-claim vs measured tables before the google-benchmark
+// timing runs.
+#ifndef EMCALC_BENCH_BENCH_UTIL_H_
+#define EMCALC_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+namespace emcalc::bench {
+
+// Prints the experiment banner; every bench binary calls this first so the
+// combined bench_output.txt is self-describing.
+inline void Banner(const char* experiment, const char* claim) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("==========================================================\n");
+}
+
+// Standard main: print the report, then run the registered benchmarks.
+#define EMCALC_BENCH_MAIN(report_fn)                       \
+  int main(int argc, char** argv) {                        \
+    report_fn();                                           \
+    ::benchmark::Initialize(&argc, argv);                  \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                 \
+    ::benchmark::Shutdown();                               \
+    return 0;                                              \
+  }
+
+}  // namespace emcalc::bench
+
+#endif  // EMCALC_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,79 @@
+// Experiment E1 — the paper's worked examples.
+//
+// For every named query of the paper we print the algebra expression our
+// translator produces next to the expression the paper reports, then time
+// the full compilation pipeline per query.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/algebra/printer.h"
+#include "src/calculus/parser.h"
+#include "src/translate/pipeline.h"
+
+namespace {
+
+struct Example {
+  const char* id;
+  const char* query;
+  const char* paper_plan;  // "-" when the paper gives no explicit algebra
+};
+
+const Example kExamples[] = {
+    {"q1", "{y | exists x (R(x) and y = g(f(x)))}", "project([g(f(@1))], R)"},
+    {"q2", "{x | R(x) and exists y (f(x) = y and not R(y))}", "-"},
+    {"q4",
+     "{x, y | B(x) and not (((f(x) != y and g(x) != y) or R(x, y)) and "
+     "((h(x) != y and k(x) != y) or P(x, y)))}",
+     "-"},
+    {"q5", "{x, y | (R(x) and f(x) = y) or (S(y) and g(y) = x)}", "-"},
+    {"q6", "{x, y, z | R(x, y, z) and not S(y, z)}",
+     "R - project([@1,@2,@3], join({@2==@4,@3==@5}, R, S))"},
+};
+
+void Report() {
+  emcalc::bench::Banner(
+      "E1: worked-example translations",
+      "each example translates to the paper's algebra expression (q1, q6 "
+      "verbatim; q2/q4/q5 to difference/union plans with extended "
+      "projections, no active-domain scan)");
+  for (const Example& e : kExamples) {
+    emcalc::AstContext ctx;
+    auto q = emcalc::ParseQuery(ctx, e.query);
+    if (!q.ok()) {
+      std::printf("%s: PARSE ERROR %s\n", e.id, q.status().ToString().c_str());
+      continue;
+    }
+    auto t = emcalc::TranslateQuery(ctx, *q);
+    std::printf("%-3s calculus: %s\n", e.id, e.query);
+    if (!t.ok()) {
+      std::printf("    TRANSLATION FAILED: %s\n",
+                  t.status().ToString().c_str());
+      continue;
+    }
+    std::printf("    paper:    %s\n", e.paper_plan);
+    std::printf("    produced: %s\n",
+                emcalc::AlgExprToString(ctx, t->plan).c_str());
+    std::printf("    plan nodes: %d (raw %d)\n", t->plan->NodeCount(),
+                t->raw_plan->NodeCount());
+  }
+  std::printf("\n");
+}
+
+void BM_TranslateExample(benchmark::State& state) {
+  const Example& e = kExamples[state.range(0)];
+  for (auto _ : state) {
+    emcalc::AstContext ctx;
+    auto q = emcalc::ParseQuery(ctx, e.query);
+    auto t = emcalc::TranslateQuery(ctx, *q);
+    benchmark::DoNotOptimize(t.ok());
+  }
+  state.SetLabel(e.id);
+}
+BENCHMARK(BM_TranslateExample)->DenseRange(0, 4);
+
+}  // namespace
+
+EMCALC_BENCH_MAIN(Report)

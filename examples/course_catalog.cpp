@@ -1,0 +1,110 @@
+// Course-catalog scheduling: universal quantification, negation, and
+// scalar functions over meeting periods. Shows the forall -> not-exists
+// translation and difference-based plans on a realistic schema:
+//
+//   COURSE(course, dept)
+//   MEETS(course, period)            -- a course meets at several periods
+//   TAKEN(student, course)
+//   OPEN(period)                     -- periods the lab is open
+//
+// succ(period) models "the following period" via the builtin succ().
+#include <cstdio>
+
+#include "src/core/compiler.h"
+
+namespace {
+
+void Show(const emcalc::CompiledQuery& q, const emcalc::Database& db,
+          const char* label) {
+  std::printf("\n== %s ==\nquery: %s\nplan:  %s\n", label,
+              q.QueryString().c_str(), q.PlanString().c_str());
+  auto answer = q.Run(db);
+  if (!answer.ok()) {
+    std::printf("error: %s\n", answer.status().ToString().c_str());
+    return;
+  }
+  std::printf("answer:\n%s", answer->ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using emcalc::Value;
+  emcalc::Database db;
+  struct {
+    const char* course;
+    const char* dept;
+  } courses[] = {{"db", "cs"}, {"logic", "cs"}, {"algebra", "math"},
+                 {"calculus", "math"}};
+  for (const auto& c : courses) {
+    if (!db.Insert("COURSE", {Value::Str(c.course), Value::Str(c.dept)})
+             .ok()) {
+      return 1;
+    }
+  }
+  struct {
+    const char* course;
+    int period;
+  } meets[] = {{"db", 1},      {"db", 3},      {"logic", 2},
+               {"algebra", 2}, {"algebra", 4}, {"calculus", 5}};
+  for (const auto& m : meets) {
+    if (!db.Insert("MEETS", {Value::Str(m.course), Value::Int(m.period)})
+             .ok()) {
+      return 1;
+    }
+  }
+  struct {
+    const char* student;
+    const char* course;
+  } taken[] = {{"ana", "db"}, {"ana", "algebra"}, {"bob", "db"},
+               {"bob", "logic"}, {"eve", "calculus"}};
+  for (const auto& t : taken) {
+    if (!db.Insert("TAKEN", {Value::Str(t.student), Value::Str(t.course)})
+             .ok()) {
+      return 1;
+    }
+  }
+  for (int p : {1, 2, 3, 4}) {
+    if (!db.Insert("OPEN", {Value::Int(p)}).ok()) return 1;
+  }
+
+  emcalc::Compiler compiler;
+
+  // 1. forall: courses all of whose meetings fall in open periods.
+  auto all_open = compiler.Compile(
+      "{c | exists d (COURSE(c, d)) and "
+      "forall p (not MEETS(c, p) or OPEN(p))}");
+  if (!all_open.ok()) {
+    std::printf("%s\n", all_open.status().ToString().c_str());
+    return 1;
+  }
+  Show(*all_open, db, "courses meeting only in open periods");
+
+  // 2. Scalar function + negation: meetings whose *following* period is
+  //    not open (no room for overtime) — the q2 pattern on schedules.
+  auto no_overtime = compiler.Compile(
+      "{c, p | MEETS(c, p) and exists n (succ(p) = n and not OPEN(n))}");
+  if (!no_overtime.ok()) return 1;
+  Show(*no_overtime, db, "meetings that cannot run over");
+
+  // 3. Pairs of students sharing a course but not everything — join +
+  //    negation + inequality.
+  auto share = compiler.Compile(
+      "{s1, s2 | exists c (TAKEN(s1, c) and TAKEN(s2, c)) and s1 != s2 and "
+      "not exists c2 (TAKEN(s1, c2) and not TAKEN(s2, c2))}");
+  if (!share.ok()) {
+    std::printf("%s\n", share.status().ToString().c_str());
+    return 1;
+  }
+  Show(*share, db, "students whose courses are covered by a classmate");
+
+  // 4. A schedule-conflict check as a boolean query: is any period
+  //    double-booked within a department?
+  auto conflict = compiler.Compile(
+      "{ | exists c1, c2, d, p (COURSE(c1, d) and COURSE(c2, d) and "
+      "c1 != c2 and MEETS(c1, p) and MEETS(c2, p))}");
+  if (!conflict.ok()) return 1;
+  Show(*conflict, db, "any departmental conflict? (empty = no)");
+
+  return 0;
+}

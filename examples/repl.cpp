@@ -1,0 +1,113 @@
+// An interactive shell for emcalc. Reads commands/queries from stdin, so
+// it also works in pipes:
+//
+//   $ printf 'rel EDGE 1,2\n{x | EDGE(x, y)}\n' | ./repl
+//
+// Commands (everything else is parsed as a query):
+//   rel NAME ROW[;ROW...]   define a relation from inline CSV rows
+//   load NAME PATH          load a relation from a CSV file
+//   show NAME               print a relation
+//   plan QUERY              show the safety analysis + plan, don't run
+//   help                    this text
+//   quit
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/algebra/printer.h"
+#include "src/calculus/printer.h"
+#include "src/core/compiler.h"
+#include "src/storage/csv.h"
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  rel NAME ROW[;ROW...]   define a relation from inline rows\n"
+      "                          e.g. rel EDGE 1,2;2,3;3,1\n"
+      "  load NAME PATH          load a relation from a CSV file\n"
+      "  show NAME               print a relation\n"
+      "  plan QUERY              analyze + translate, don't run\n"
+      "  help | quit\n"
+      "anything else is evaluated as a query, e.g. {x | EDGE(x, y)}\n");
+}
+
+void RunQuery(emcalc::Compiler& compiler, emcalc::Database& db,
+              const std::string& text, bool execute) {
+  auto q = compiler.Compile(text);
+  if (!q.ok()) {
+    std::printf("error: %s\n", q.status().ToString().c_str());
+    return;
+  }
+  std::printf("plan: %s\n", q->PlanString().c_str());
+  if (!execute) return;
+  emcalc::AlgebraEvalStats stats;
+  auto answer = q->Run(db, &stats);
+  if (!answer.ok()) {
+    std::printf("error: %s\n", answer.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s(%zu tuples, %llu produced while evaluating)\n",
+              answer->ToString().c_str(), answer->size(),
+              static_cast<unsigned long long>(stats.tuples_produced));
+}
+
+}  // namespace
+
+int main() {
+  emcalc::Compiler compiler;
+  emcalc::Database db;
+  std::printf("emcalc shell — 'help' for commands\n");
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    std::istringstream words(line);
+    std::string command;
+    words >> command;
+    if (command.empty()) continue;
+    if (command == "quit" || command == "exit") break;
+    if (command == "help") {
+      PrintHelp();
+      continue;
+    }
+    if (command == "rel") {
+      std::string name, rows;
+      words >> name;
+      std::getline(words, rows);
+      std::string csv = rows;
+      for (char& c : csv) {
+        if (c == ';') c = '\n';
+      }
+      emcalc::Status s = emcalc::LoadCsvText(db, name, csv);
+      std::printf("%s\n", s.ok() ? "ok" : s.ToString().c_str());
+      continue;
+    }
+    if (command == "load") {
+      std::string name, path;
+      words >> name >> path;
+      emcalc::Status s = emcalc::LoadCsvFile(db, name, path);
+      std::printf("%s\n", s.ok() ? "ok" : s.ToString().c_str());
+      continue;
+    }
+    if (command == "show") {
+      std::string name;
+      words >> name;
+      const emcalc::Relation* rel = db.Find(name);
+      if (rel == nullptr) {
+        std::printf("unknown relation '%s'\n", name.c_str());
+      } else {
+        std::printf("%s", rel->ToString().c_str());
+      }
+      continue;
+    }
+    if (command == "plan") {
+      std::string rest;
+      std::getline(words, rest);
+      RunQuery(compiler, db, rest, /*execute=*/false);
+      continue;
+    }
+    RunQuery(compiler, db, line, /*execute=*/true);
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// safety_lint: a command-line analyzer for calculus queries. For each
+// query (from the command line, or a built-in demo corpus) it prints the
+// library's full explanation: the bd() finiteness dependencies, how every
+// safety criterion from the literature classifies it, the ENF/RANF
+// intermediate forms, and the generated extended-algebra plan.
+//
+//   $ ./safety_lint '{x | R(x) and not S(x)}' ...
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/explain.h"
+
+namespace {
+
+const char* kDemoCorpus[] = {
+    "{y | exists x (R(x) and y = g(f(x)))}",
+    "{x | R(x) and exists y (f(x) = y and not R(y))}",
+    "{x, y | (R(x) and f(x) = y) or (S(y) and g(y) = x)}",
+    "{x, y, z | R(x, y, z) and not S(y, z)}",
+    "{x, y | B(x) and not (((f(x) != y and g(x) != y) or R(x, y)) and "
+    "((h(x) != y and k(x) != y) or P(x, y)))}",
+    "{x | x = 0 and forall u (exists v (plus(u, 1) = v))}",
+    "{x | not R(x)}",
+    "{x | R(x) and x < 10}",
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) inputs.emplace_back(argv[i]);
+  if (inputs.empty()) {
+    for (const char* q : kDemoCorpus) inputs.emplace_back(q);
+  }
+  for (const std::string& text : inputs) {
+    std::printf(
+        "----------------------------------------------------------\n");
+    emcalc::AstContext ctx;
+    auto explanation = emcalc::ExplainQuery(ctx, text);
+    if (!explanation.ok()) {
+      std::printf("query: %s\n  error: %s\n", text.c_str(),
+                  explanation.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s", explanation->ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Evaluator for extended-algebra plans against a database instance and a
+// scalar-function interpretation. Joins with column-equality conditions use
+// hash joins; everything else falls back to nested loops. The evaluator
+// records simple cost counters so the experiments can report work done, not
+// just wall time.
+#ifndef EMCALC_ALGEBRA_EVAL_H_
+#define EMCALC_ALGEBRA_EVAL_H_
+
+#include "src/algebra/ast.h"
+#include "src/base/status.h"
+#include "src/storage/adom.h"
+#include "src/storage/database.h"
+#include "src/storage/interpretation.h"
+
+namespace emcalc {
+
+// Cost counters accumulated over one evaluation.
+struct AlgebraEvalStats {
+  uint64_t tuples_produced = 0;   // summed over every operator's output
+  uint64_t tuples_scanned = 0;    // summed over every operator's inputs
+  uint64_t function_calls = 0;    // scalar function applications
+};
+
+// Evaluation knobs.
+struct AlgebraEvalOptions {
+  // Budget for kAdom term closures (values). The direct translation never
+  // emits kAdom; only the AB88-style baseline does.
+  size_t adom_budget = 10'000'000;
+};
+
+// Evaluates `plan`. Fails (without evaluating) if the plan references
+// unknown relations/functions or uses them with the wrong arity, and at
+// runtime only if an adom closure exceeds its budget.
+StatusOr<Relation> EvaluateAlgebra(const AstContext& ctx, const AlgExpr* plan,
+                                   const Database& db,
+                                   const FunctionRegistry& registry,
+                                   AlgebraEvalStats* stats = nullptr,
+                                   const AlgebraEvalOptions& options = {});
+
+}  // namespace emcalc
+
+#endif  // EMCALC_ALGEBRA_EVAL_H_

@@ -1,0 +1,24 @@
+// A small plan simplifier. The translator emits structurally regular plans
+// (lots of unit joins and chained projections); these rewrites remove the
+// noise so the worked-example plans match the paper's concise forms. All
+// rewrites are semantics-preserving (verified by differential tests).
+#ifndef EMCALC_ALGEBRA_OPTIMIZER_H_
+#define EMCALC_ALGEBRA_OPTIMIZER_H_
+
+#include "src/algebra/ast.h"
+
+namespace emcalc {
+
+// Rewrites applied until fixpoint:
+//  - project with the identity column list     -> input
+//  - project over project                      -> composed project
+//  - select with no conditions                 -> input
+//  - select over select                        -> merged select
+//  - join with unit                            -> select over the other side
+//  - join/select/project over empty            -> empty
+//  - union/difference with empty               -> other side / left
+const AlgExpr* OptimizePlan(AlgebraFactory& factory, const AlgExpr* plan);
+
+}  // namespace emcalc
+
+#endif  // EMCALC_ALGEBRA_OPTIMIZER_H_

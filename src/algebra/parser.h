@@ -1,0 +1,29 @@
+// Parser for the algebra printer's concrete syntax, enabling plan
+// round-trips in tests and hand-written plans in tools:
+//
+//   (R - project([@1,@2,@3], join({@2==@4,@3==@5}, R, S)))
+//
+// Base relations print as bare names, so their arities come from the
+// caller-supplied catalog. kAdom nodes do not round-trip (their function
+// lists are not part of the printed form) and are rejected.
+#ifndef EMCALC_ALGEBRA_PARSER_H_
+#define EMCALC_ALGEBRA_PARSER_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/algebra/ast.h"
+#include "src/base/status.h"
+
+namespace emcalc {
+
+// Parses `text` into a plan allocated in `ctx`. `rel_arities` maps base
+// relation names to arities.
+StatusOr<const AlgExpr*> ParseAlgebra(
+    AstContext& ctx, std::string_view text,
+    const std::map<std::string, int>& rel_arities);
+
+}  // namespace emcalc
+
+#endif  // EMCALC_ALGEBRA_PARSER_H_

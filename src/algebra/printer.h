@@ -1,0 +1,24 @@
+// Rendering of algebra plans in the paper's concrete syntax, e.g.
+// "R - project([@1,@2,@3], join({@2==@4,@3==@5}, R, S))".
+#ifndef EMCALC_ALGEBRA_PRINTER_H_
+#define EMCALC_ALGEBRA_PRINTER_H_
+
+#include <string>
+
+#include "src/algebra/ast.h"
+
+namespace emcalc {
+
+// Renders a scalar expression (columns are printed 1-based: @1, @2, ...).
+std::string ScalarExprToString(const AstContext& ctx, const ScalarExpr* e);
+
+// Renders a plan on one line.
+std::string AlgExprToString(const AstContext& ctx, const AlgExpr* e);
+
+// Renders a plan as an indented tree (one operator per line), for plans too
+// large to read inline.
+std::string AlgExprToTreeString(const AstContext& ctx, const AlgExpr* e);
+
+}  // namespace emcalc
+
+#endif  // EMCALC_ALGEBRA_PRINTER_H_

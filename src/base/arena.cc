@@ -1,0 +1,42 @@
+#include "src/base/arena.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace emcalc {
+namespace {
+
+// Rounds `p` up to the next multiple of `align` (align must be a power of 2).
+char* AlignUp(char* p, size_t align) {
+  auto v = reinterpret_cast<uintptr_t>(p);
+  v = (v + align - 1) & ~(align - 1);
+  return reinterpret_cast<char*>(v);
+}
+
+}  // namespace
+
+void* Arena::Allocate(size_t size, size_t align) {
+  EMCALC_CHECK(align != 0 && (align & (align - 1)) == 0);
+  char* aligned = AlignUp(ptr_, align);
+  if (aligned == nullptr || aligned + size > end_) {
+    return AllocateSlow(size, align);
+  }
+  ptr_ = aligned + size;
+  bytes_allocated_ += size;
+  return aligned;
+}
+
+void* Arena::AllocateSlow(size_t size, size_t align) {
+  size_t block_size = std::max(kBlockSize, size + align);
+  blocks_.push_back(std::make_unique<char[]>(block_size));
+  ptr_ = blocks_.back().get();
+  end_ = ptr_ + block_size;
+  char* aligned = AlignUp(ptr_, align);
+  EMCALC_CHECK(aligned + size <= end_);
+  ptr_ = aligned + size;
+  bytes_allocated_ += size;
+  return aligned;
+}
+
+}  // namespace emcalc

@@ -1,0 +1,74 @@
+// Bump-pointer arena for AST nodes.
+//
+// Calculus and algebra ASTs are built once, traversed many times, and freed
+// all at once when the owning context dies. An arena gives (a) fast
+// allocation, (b) stable node addresses (nodes can be shared freely between
+// rewritten formulas — rewrites are persistent/structure-sharing), and
+// (c) a single ownership root, which keeps the "manual memory for the AST"
+// that this style of symbolic code needs both cheap and safe.
+//
+// Only trivially destructible node types may be allocated: destructors are
+// never run. Node types enforce this with static_asserts at their
+// allocation sites.
+#ifndef EMCALC_BASE_ARENA_H_
+#define EMCALC_BASE_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace emcalc {
+
+// A growable block allocator. Not thread-safe; each compilation context owns
+// its own arena.
+class Arena {
+ public:
+  Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Returns `size` bytes aligned to `align`. Never returns nullptr.
+  void* Allocate(size_t size, size_t align);
+
+  // Allocates and constructs a T. T must be trivially destructible because
+  // the arena never runs destructors.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena-allocated types must be trivially destructible");
+    void* mem = Allocate(sizeof(T), alignof(T));
+    return new (mem) T(std::forward<Args>(args)...);
+  }
+
+  // Copies `n` elements of trivially-copyable T into the arena and returns
+  // the new array (nullptr when n == 0).
+  template <typename T>
+  T* NewArray(const T* src, size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    if (n == 0) return nullptr;
+    T* mem = static_cast<T*>(Allocate(sizeof(T) * n, alignof(T)));
+    for (size_t i = 0; i < n; ++i) new (mem + i) T(src[i]);
+    return mem;
+  }
+
+  // Total bytes handed out so far (for stats/benchmarks).
+  size_t bytes_allocated() const { return bytes_allocated_; }
+
+ private:
+  static constexpr size_t kBlockSize = 1 << 16;
+
+  // Grabs a fresh block of at least `min_size` bytes and allocates from it.
+  void* AllocateSlow(size_t size, size_t align);
+
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  char* ptr_ = nullptr;   // next free byte in the current block
+  char* end_ = nullptr;   // one past the current block
+  size_t bytes_allocated_ = 0;
+};
+
+}  // namespace emcalc
+
+#endif  // EMCALC_BASE_ARENA_H_

@@ -1,0 +1,34 @@
+// Lightweight assertion macros. The library does not use C++ exceptions
+// (construction errors are reported through Status/StatusOr); these macros
+// guard internal invariants and abort with a readable message on violation.
+#ifndef EMCALC_BASE_CHECK_H_
+#define EMCALC_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts the process when `cond` is false, printing the failing expression
+// and source location. Always on, in every build type: the checks guard
+// compiler invariants whose violation would silently corrupt query results.
+#define EMCALC_CHECK(cond)                                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "EMCALC_CHECK failed: %s at %s:%d\n", #cond,      \
+                   __FILE__, __LINE__);                                      \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+// Like EMCALC_CHECK but with a custom printf-style message appended.
+#define EMCALC_CHECK_MSG(cond, ...)                                          \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "EMCALC_CHECK failed: %s at %s:%d: ", #cond,      \
+                   __FILE__, __LINE__);                                      \
+      std::fprintf(stderr, __VA_ARGS__);                                     \
+      std::fprintf(stderr, "\n");                                            \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#endif  // EMCALC_BASE_CHECK_H_

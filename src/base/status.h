@@ -1,0 +1,101 @@
+// Error reporting without exceptions: Status carries success/failure plus a
+// message; StatusOr<T> carries either a value or a Status. Modeled on the
+// absl types but self-contained.
+#ifndef EMCALC_BASE_STATUS_H_
+#define EMCALC_BASE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/base/check.h"
+
+namespace emcalc {
+
+// Error categories surfaced by the public API.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  // malformed input (e.g. parse error)
+  kNotSafe,          // query failed the em-allowed safety analysis
+  kNotFound,         // unknown relation / function / variable
+  kUnsupported,      // feature outside the implemented fragment
+  kInternal,         // invariant violation that was recoverable
+};
+
+// Returns a stable, human-readable name for `code` (e.g. "INVALID_ARGUMENT").
+const char* StatusCodeName(StatusCode code);
+
+// A success indicator or an error with a code and message.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  // Constructs an error status; `code` must not be kOk unless message empty.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Convenience constructors for common error categories.
+Status InvalidArgumentError(std::string message);
+Status NotSafeError(std::string message);
+Status NotFoundError(std::string message);
+Status UnsupportedError(std::string message);
+Status InternalError(std::string message);
+
+// Either a value of type T or an error Status. Accessing the value of an
+// error StatusOr aborts (see EMCALC_CHECK); call ok() first.
+template <typename T>
+class StatusOr {
+ public:
+  // Implicit conversions from both T and Status keep call sites terse,
+  // mirroring absl::StatusOr.
+  StatusOr(T value) : value_(std::move(value)) {}              // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {       // NOLINT
+    EMCALC_CHECK_MSG(!status_.ok(), "StatusOr built from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    EMCALC_CHECK_MSG(ok(), "StatusOr::value on error: %s",
+                     status_.message().c_str());
+    return *value_;
+  }
+  T& value() & {
+    EMCALC_CHECK_MSG(ok(), "StatusOr::value on error: %s",
+                     status_.message().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    EMCALC_CHECK_MSG(ok(), "StatusOr::value on error: %s",
+                     status_.message().c_str());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace emcalc
+
+#endif  // EMCALC_BASE_STATUS_H_

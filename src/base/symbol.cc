@@ -1,0 +1,33 @@
+#include "src/base/symbol.h"
+
+#include "src/base/check.h"
+
+namespace emcalc {
+
+Symbol SymbolTable::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return Symbol{it->second};
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return Symbol{id};
+}
+
+std::string_view SymbolTable::Name(Symbol sym) const {
+  EMCALC_CHECK_MSG(sym.id < names_.size(), "unknown symbol id %u", sym.id);
+  return names_[sym.id];
+}
+
+bool SymbolTable::Contains(std::string_view name) const {
+  return ids_.count(std::string(name)) != 0;
+}
+
+Symbol SymbolTable::Fresh(std::string_view base) {
+  for (;;) {
+    std::string candidate =
+        std::string(base) + "_" + std::to_string(fresh_counter_++);
+    if (!Contains(candidate)) return Intern(candidate);
+  }
+}
+
+}  // namespace emcalc

@@ -1,0 +1,63 @@
+// String interning. Variables, relation names, and function names are
+// interned to 32-bit Symbols so that the FinD engine and AST comparisons
+// work on integers.
+#ifndef EMCALC_BASE_SYMBOL_H_
+#define EMCALC_BASE_SYMBOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace emcalc {
+
+// An interned identifier. Only meaningful relative to the SymbolTable that
+// produced it. Value-comparable and hashable.
+struct Symbol {
+  uint32_t id = 0;
+
+  friend bool operator==(Symbol a, Symbol b) { return a.id == b.id; }
+  friend bool operator!=(Symbol a, Symbol b) { return a.id != b.id; }
+  friend bool operator<(Symbol a, Symbol b) { return a.id < b.id; }
+};
+
+// Bidirectional string <-> Symbol map. Not thread-safe.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  // Returns the symbol for `name`, interning it on first use.
+  Symbol Intern(std::string_view name);
+
+  // Returns the name of `sym`; aborts if sym was not produced by this table.
+  std::string_view Name(Symbol sym) const;
+
+  // True if `name` has been interned already.
+  bool Contains(std::string_view name) const;
+
+  // Number of interned symbols.
+  size_t size() const { return names_.size(); }
+
+  // Produces a symbol whose name does not collide with any interned name,
+  // derived from `base` (used for quantified-variable renaming). The fresh
+  // name is interned.
+  Symbol Fresh(std::string_view base);
+
+ private:
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<std::string> names_;
+  uint64_t fresh_counter_ = 0;
+};
+
+}  // namespace emcalc
+
+// Hash support so Symbol can key unordered containers.
+template <>
+struct std::hash<emcalc::Symbol> {
+  size_t operator()(emcalc::Symbol s) const noexcept { return s.id; }
+};
+
+#endif  // EMCALC_BASE_SYMBOL_H_

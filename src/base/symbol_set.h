@@ -1,0 +1,136 @@
+// A small sorted set of Symbols, used for variable sets throughout the
+// safety analysis and the FinD engine. Backed by a sorted vector: variable
+// sets in real queries are tiny, and sorted vectors make subset/union
+// operations cheap and deterministic.
+#ifndef EMCALC_BASE_SYMBOL_SET_H_
+#define EMCALC_BASE_SYMBOL_SET_H_
+
+#include <algorithm>
+#include <initializer_list>
+#include <vector>
+
+#include "src/base/symbol.h"
+
+namespace emcalc {
+
+// An immutable-ish ordered set of symbols with value semantics.
+class SymbolSet {
+ public:
+  SymbolSet() = default;
+  SymbolSet(std::initializer_list<Symbol> syms)
+      : elems_(syms) {
+    Normalize();
+  }
+  // Takes any vector (unsorted, possibly with duplicates).
+  explicit SymbolSet(std::vector<Symbol> syms) : elems_(std::move(syms)) {
+    Normalize();
+  }
+
+  bool empty() const { return elems_.empty(); }
+  size_t size() const { return elems_.size(); }
+  const std::vector<Symbol>& elems() const { return elems_; }
+  auto begin() const { return elems_.begin(); }
+  auto end() const { return elems_.end(); }
+
+  bool Contains(Symbol s) const {
+    return std::binary_search(elems_.begin(), elems_.end(), s);
+  }
+
+  bool IsSubsetOf(const SymbolSet& other) const {
+    return std::includes(other.elems_.begin(), other.elems_.end(),
+                         elems_.begin(), elems_.end());
+  }
+
+  bool Intersects(const SymbolSet& other) const;
+
+  void Insert(Symbol s) {
+    auto it = std::lower_bound(elems_.begin(), elems_.end(), s);
+    if (it == elems_.end() || *it != s) elems_.insert(it, s);
+  }
+
+  void Remove(Symbol s) {
+    auto it = std::lower_bound(elems_.begin(), elems_.end(), s);
+    if (it != elems_.end() && *it == s) elems_.erase(it);
+  }
+
+  // Set algebra; all return new sets.
+  SymbolSet Union(const SymbolSet& other) const;
+  SymbolSet Intersect(const SymbolSet& other) const;
+  SymbolSet Minus(const SymbolSet& other) const;
+
+  friend bool operator==(const SymbolSet& a, const SymbolSet& b) {
+    return a.elems_ == b.elems_;
+  }
+  friend bool operator!=(const SymbolSet& a, const SymbolSet& b) {
+    return !(a == b);
+  }
+  // Lexicographic; gives FinD sets a canonical order.
+  friend bool operator<(const SymbolSet& a, const SymbolSet& b) {
+    return a.elems_ < b.elems_;
+  }
+
+  // Renders as "{x,y,z}" given the symbol table.
+  std::string ToString(const SymbolTable& symbols) const {
+    std::string out = "{";
+    for (size_t i = 0; i < elems_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += symbols.Name(elems_[i]);
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  void Normalize() {
+    std::sort(elems_.begin(), elems_.end());
+    elems_.erase(std::unique(elems_.begin(), elems_.end()), elems_.end());
+  }
+
+  std::vector<Symbol> elems_;
+};
+
+inline bool SymbolSet::Intersects(const SymbolSet& other) const {
+  auto a = elems_.begin();
+  auto b = other.elems_.begin();
+  while (a != elems_.end() && b != other.elems_.end()) {
+    if (*a == *b) return true;
+    if (*a < *b) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  return false;
+}
+
+inline SymbolSet SymbolSet::Union(const SymbolSet& other) const {
+  std::vector<Symbol> out;
+  out.reserve(elems_.size() + other.elems_.size());
+  std::set_union(elems_.begin(), elems_.end(), other.elems_.begin(),
+                 other.elems_.end(), std::back_inserter(out));
+  SymbolSet result;
+  result.elems_ = std::move(out);
+  return result;
+}
+
+inline SymbolSet SymbolSet::Intersect(const SymbolSet& other) const {
+  std::vector<Symbol> out;
+  std::set_intersection(elems_.begin(), elems_.end(), other.elems_.begin(),
+                        other.elems_.end(), std::back_inserter(out));
+  SymbolSet result;
+  result.elems_ = std::move(out);
+  return result;
+}
+
+inline SymbolSet SymbolSet::Minus(const SymbolSet& other) const {
+  std::vector<Symbol> out;
+  std::set_difference(elems_.begin(), elems_.end(), other.elems_.begin(),
+                      other.elems_.end(), std::back_inserter(out));
+  SymbolSet result;
+  result.elems_ = std::move(out);
+  return result;
+}
+
+}  // namespace emcalc
+
+#endif  // EMCALC_BASE_SYMBOL_SET_H_

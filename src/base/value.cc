@@ -1,0 +1,43 @@
+#include "src/base/value.h"
+
+#include <functional>
+
+#include "src/base/check.h"
+
+namespace emcalc {
+
+int64_t Value::AsInt() const {
+  EMCALC_CHECK_MSG(is_int(), "Value::AsInt on string value");
+  return std::get<int64_t>(rep_);
+}
+
+const std::string& Value::AsStr() const {
+  EMCALC_CHECK_MSG(is_str(), "Value::AsStr on int value");
+  return std::get<std::string>(rep_);
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.rep_.index() != b.rep_.index()) return a.rep_.index() < b.rep_.index();
+  if (a.is_int()) return std::get<int64_t>(a.rep_) < std::get<int64_t>(b.rep_);
+  return std::get<std::string>(a.rep_) < std::get<std::string>(b.rep_);
+}
+
+std::string Value::ToString() const {
+  if (is_int()) return std::to_string(std::get<int64_t>(rep_));
+  return "'" + std::get<std::string>(rep_) + "'";
+}
+
+size_t Value::Hash() const {
+  if (is_int()) {
+    // Mix so that small ints don't collide with the string space trivially.
+    uint64_t x = static_cast<uint64_t>(std::get<int64_t>(rep_));
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<size_t>(x);
+  }
+  return std::hash<std::string>()(std::get<std::string>(rep_)) ^
+         0x9e3779b97f4a7c15ULL;
+}
+
+}  // namespace emcalc

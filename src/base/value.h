@@ -1,0 +1,60 @@
+// The underlying domain of values ("dom" in the paper).
+//
+// The paper assumes a one-sorted countably infinite domain of uninterpreted
+// constants; scalar functions are total functions dom^n -> dom. We model dom
+// as the disjoint union of 64-bit integers and strings. Totality of scalar
+// functions across the whole (mixed-sort) domain is the responsibility of
+// the function implementations in storage/interpretation.h.
+#ifndef EMCALC_BASE_VALUE_H_
+#define EMCALC_BASE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace emcalc {
+
+// A single domain element: an integer or a string. Ordered (ints before
+// strings) and hashable so relations can be kept as sorted sets.
+class Value {
+ public:
+  Value() : rep_(int64_t{0}) {}
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Str(std::string v) { return Value(std::move(v)); }
+
+  bool is_int() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_str() const { return std::holds_alternative<std::string>(rep_); }
+
+  // Accessors abort on kind mismatch.
+  int64_t AsInt() const;
+  const std::string& AsStr() const;
+
+  // Total order: all ints (by value) precede all strings (lexicographic).
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.rep_ == b.rep_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Value& a, const Value& b);
+
+  // Renders ints as digits and strings single-quoted (e.g. 42, 'bob').
+  std::string ToString() const;
+
+  // Hash combining kind and payload.
+  size_t Hash() const;
+
+ private:
+  std::variant<int64_t, std::string> rep_;
+};
+
+}  // namespace emcalc
+
+template <>
+struct std::hash<emcalc::Value> {
+  size_t operator()(const emcalc::Value& v) const noexcept { return v.Hash(); }
+};
+
+#endif  // EMCALC_BASE_VALUE_H_

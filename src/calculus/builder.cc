@@ -1,0 +1,96 @@
+#include "src/calculus/builder.h"
+
+namespace emcalc::builder {
+namespace {
+
+// Shared flatten-and-fold body for And/Or. `unit` is the identity element
+// (True for And) and `zero` the absorbing element (False for And).
+const Formula* Junct(AstContext& ctx, std::vector<const Formula*> children,
+                     FormulaKind kind, const Formula* unit,
+                     const Formula* zero) {
+  std::vector<const Formula*> flat;
+  flat.reserve(children.size());
+  for (const Formula* c : children) {
+    if (c->kind() == unit->kind()) continue;
+    if (c->kind() == zero->kind()) return zero;
+    if (c->kind() == kind) {
+      for (const Formula* g : c->children()) flat.push_back(g);
+    } else {
+      flat.push_back(c);
+    }
+  }
+  if (flat.empty()) return unit;
+  if (flat.size() == 1) return flat[0];
+  return kind == FormulaKind::kAnd ? ctx.MakeAnd(flat) : ctx.MakeOr(flat);
+}
+
+}  // namespace
+
+const Formula* And(AstContext& ctx, std::vector<const Formula*> children) {
+  return Junct(ctx, std::move(children), FormulaKind::kAnd, ctx.True(),
+               ctx.False());
+}
+
+const Formula* Or(AstContext& ctx, std::vector<const Formula*> children) {
+  return Junct(ctx, std::move(children), FormulaKind::kOr, ctx.False(),
+               ctx.True());
+}
+
+const Formula* Not(AstContext& ctx, const Formula* f) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+      return ctx.False();
+    case FormulaKind::kFalse:
+      return ctx.True();
+    case FormulaKind::kNot:
+      return f->child();
+    default:
+      return ctx.MakeNot(f);
+  }
+}
+
+const Formula* Exists(AstContext& ctx, std::vector<Symbol> vars,
+                      const Formula* body) {
+  if (vars.empty()) return body;
+  if (body->kind() == FormulaKind::kExists) {
+    std::vector<Symbol> merged = vars;
+    for (Symbol v : body->vars()) merged.push_back(v);
+    return ctx.MakeExists(merged, body->child());
+  }
+  return ctx.MakeExists(vars, body);
+}
+
+const Formula* Forall(AstContext& ctx, std::vector<Symbol> vars,
+                      const Formula* body) {
+  if (vars.empty()) return body;
+  if (body->kind() == FormulaKind::kForall) {
+    std::vector<Symbol> merged = vars;
+    for (Symbol v : body->vars()) merged.push_back(v);
+    return ctx.MakeForall(merged, body->child());
+  }
+  return ctx.MakeForall(vars, body);
+}
+
+const Formula* Rel(AstContext& ctx, std::string_view name,
+                   std::vector<const Term*> args) {
+  return ctx.MakeRel(ctx.symbols().Intern(name), args);
+}
+
+const Term* Var(AstContext& ctx, std::string_view name) {
+  return ctx.MakeVar(name);
+}
+
+const Term* IntConst(AstContext& ctx, int64_t v) {
+  return ctx.MakeConst(Value::Int(v));
+}
+
+const Term* StrConst(AstContext& ctx, std::string_view v) {
+  return ctx.MakeConst(Value::Str(std::string(v)));
+}
+
+const Term* Apply(AstContext& ctx, std::string_view fn,
+                  std::vector<const Term*> args) {
+  return ctx.MakeApply(ctx.symbols().Intern(fn), args);
+}
+
+}  // namespace emcalc::builder

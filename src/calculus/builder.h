@@ -1,0 +1,46 @@
+// Normalizing convenience constructors for formulas. These keep rewrite
+// passes terse: n-ary And/Or accept any arity (including 0 and 1) and fold
+// constant children; Exists/Forall accept empty variable lists.
+#ifndef EMCALC_CALCULUS_BUILDER_H_
+#define EMCALC_CALCULUS_BUILDER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/calculus/ast.h"
+
+namespace emcalc::builder {
+
+// Conjunction: drops kTrue children, returns kFalse if any child is kFalse,
+// flattens nested kAnd children; 0 children -> True, 1 child -> that child.
+const Formula* And(AstContext& ctx, std::vector<const Formula*> children);
+
+// Disjunction, dually.
+const Formula* Or(AstContext& ctx, std::vector<const Formula*> children);
+
+// Negation with constant folding (not True -> False, not False -> True,
+// not not phi -> phi).
+const Formula* Not(AstContext& ctx, const Formula* f);
+
+// Quantifiers; an empty variable list returns the body unchanged, and
+// adjacent same-kind quantifiers are merged (exists x (exists y phi) ->
+// exists x,y phi).
+const Formula* Exists(AstContext& ctx, std::vector<Symbol> vars,
+                      const Formula* body);
+const Formula* Forall(AstContext& ctx, std::vector<Symbol> vars,
+                      const Formula* body);
+
+// Relation atom with string names: Rel(ctx, "R", {x, y}).
+const Formula* Rel(AstContext& ctx, std::string_view name,
+                   std::vector<const Term*> args);
+
+// Term helpers.
+const Term* Var(AstContext& ctx, std::string_view name);
+const Term* IntConst(AstContext& ctx, int64_t v);
+const Term* StrConst(AstContext& ctx, std::string_view v);
+const Term* Apply(AstContext& ctx, std::string_view fn,
+                  std::vector<const Term*> args);
+
+}  // namespace emcalc::builder
+
+#endif  // EMCALC_CALCULUS_BUILDER_H_

@@ -1,0 +1,47 @@
+// Recursive-descent parser for the calculus query language.
+//
+// Grammar (keywords are case-sensitive; 'or' binds loosest):
+//
+//   query    := '{' varlist? '|' formula '}' | formula
+//   formula  := orf
+//   orf      := andf ( 'or' andf )*
+//   andf     := unary ( 'and' unary )*
+//   unary    := 'not' unary
+//             | ('exists' | 'forall') varlist '(' formula ')'
+//             | '(' formula ')'
+//             | 'true' | 'false'
+//             | atom
+//   atom     := term ('=' | '!=') term      -- equality / inequality
+//             | ident '(' termlist? ')'     -- relation atom
+//   term     := ident '(' termlist ')'      -- scalar function application
+//             | ident                       -- variable
+//             | int-literal | string-literal
+//   varlist  := ident (',' ident)*
+//
+// An identifier applied to arguments is a relation atom in formula position
+// and a function application in term position; `R(x)` followed by '=' is
+// therefore the term R(x) compared for equality, otherwise the atom R(x).
+// A bare formula (no braces) parses to a query whose head is the formula's
+// free variables in sorted order.
+#ifndef EMCALC_CALCULUS_PARSER_H_
+#define EMCALC_CALCULUS_PARSER_H_
+
+#include <string_view>
+
+#include "src/base/status.h"
+#include "src/calculus/ast.h"
+
+namespace emcalc {
+
+// Parses a query, interning names into `ctx`.
+StatusOr<Query> ParseQuery(AstContext& ctx, std::string_view text);
+
+// Parses a formula (no braces form).
+StatusOr<const Formula*> ParseFormula(AstContext& ctx, std::string_view text);
+
+// Parses a term (used by tests and the examples' REPL).
+StatusOr<const Term*> ParseTerm(AstContext& ctx, std::string_view text);
+
+}  // namespace emcalc
+
+#endif  // EMCALC_CALCULUS_PARSER_H_

@@ -1,0 +1,25 @@
+// Pretty-printing of terms, formulas, and queries in the concrete syntax
+// accepted by the parser (round-trip safe):
+//
+//   {x, y | R(x, y) and exists z (S(z) and f(x) = z)}
+#ifndef EMCALC_CALCULUS_PRINTER_H_
+#define EMCALC_CALCULUS_PRINTER_H_
+
+#include <string>
+
+#include "src/calculus/ast.h"
+
+namespace emcalc {
+
+// Renders `t` (e.g. "g(f(x))", "42", "'bob'").
+std::string TermToString(const AstContext& ctx, const Term* t);
+
+// Renders `f` with minimal parentheses.
+std::string FormulaToString(const AstContext& ctx, const Formula* f);
+
+// Renders "{x, y | body}".
+std::string QueryToString(const AstContext& ctx, const Query& q);
+
+}  // namespace emcalc
+
+#endif  // EMCALC_CALCULUS_PRINTER_H_

@@ -1,0 +1,34 @@
+// Structure-sharing rewrites: variable substitution and rectification
+// (renaming bound variables apart). These are the workhorses of the
+// translation pipeline.
+#ifndef EMCALC_CALCULUS_REWRITE_H_
+#define EMCALC_CALCULUS_REWRITE_H_
+
+#include <unordered_map>
+
+#include "src/calculus/ast.h"
+
+namespace emcalc {
+
+// Variable -> replacement term map.
+using Substitution = std::unordered_map<Symbol, const Term*>;
+
+// Applies `sub` to every free occurrence in `t`.
+const Term* SubstituteTerm(AstContext& ctx, const Term* t,
+                           const Substitution& sub);
+
+// Applies `sub` to every free occurrence in `f`, capture-avoiding:
+// quantifiers whose variables appear in the substituting terms are renamed
+// to fresh variables first.
+const Formula* SubstituteFormula(AstContext& ctx, const Formula* f,
+                                 const Substitution& sub);
+
+// Renames bound variables so that (a) no two quantifiers bind the same
+// symbol and (b) no bound symbol collides with a free variable of `f`.
+// Leaves already-rectified formulas structurally unchanged (pointer-equal
+// subtrees are reused).
+const Formula* Rectify(AstContext& ctx, const Formula* f);
+
+}  // namespace emcalc
+
+#endif  // EMCALC_CALCULUS_REWRITE_H_

@@ -1,0 +1,109 @@
+#include "src/calculus/views.h"
+
+#include <string>
+#include <vector>
+
+#include "src/base/symbol_set.h"
+#include "src/calculus/builder.h"
+#include "src/calculus/rewrite.h"
+
+namespace emcalc {
+namespace {
+
+class Expander {
+ public:
+  Expander(AstContext& ctx, const ViewMap& views)
+      : ctx_(ctx), views_(views) {}
+
+  StatusOr<const Formula*> Expand(const Formula* f) {
+    switch (f->kind()) {
+      case FormulaKind::kTrue:
+      case FormulaKind::kFalse:
+      case FormulaKind::kEq:
+      case FormulaKind::kNeq:
+      case FormulaKind::kLess:
+      case FormulaKind::kLessEq:
+        return f;
+      case FormulaKind::kRel: {
+        auto it = views_.find(f->rel());
+        if (it == views_.end()) return f;
+        return ExpandAtom(f, it->second);
+      }
+      case FormulaKind::kNot: {
+        auto c = Expand(f->child());
+        if (!c.ok()) return c;
+        return *c == f->child() ? f : builder::Not(ctx_, *c);
+      }
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr: {
+        std::vector<const Formula*> children;
+        bool changed = false;
+        for (const Formula* c : f->children()) {
+          auto nc = Expand(c);
+          if (!nc.ok()) return nc;
+          changed |= (*nc != c);
+          children.push_back(*nc);
+        }
+        if (!changed) return f;
+        return f->kind() == FormulaKind::kAnd
+                   ? builder::And(ctx_, std::move(children))
+                   : builder::Or(ctx_, std::move(children));
+      }
+      case FormulaKind::kExists:
+      case FormulaKind::kForall: {
+        auto body = Expand(f->child());
+        if (!body.ok()) return body;
+        if (*body == f->child()) return f;
+        std::vector<Symbol> vars(f->vars().begin(), f->vars().end());
+        return f->kind() == FormulaKind::kExists
+                   ? builder::Exists(ctx_, std::move(vars), *body)
+                   : builder::Forall(ctx_, std::move(vars), *body);
+      }
+    }
+    return f;
+  }
+
+ private:
+  StatusOr<const Formula*> ExpandAtom(const Formula* atom, const Query& view) {
+    if (atom->terms().size() != view.head.size()) {
+      return InvalidArgumentError(
+          "view '" + std::string(ctx_.symbols().Name(atom->rel())) +
+          "' has arity " + std::to_string(view.head.size()) + ", used with " +
+          std::to_string(atom->terms().size()));
+    }
+    if (in_progress_.Contains(atom->rel())) {
+      return InvalidArgumentError(
+          "cyclic view reference through '" +
+          std::string(ctx_.symbols().Name(atom->rel())) + "'");
+    }
+    in_progress_.Insert(atom->rel());
+    // Expand views inside the definition first (recursion), then rename its
+    // bound variables apart and substitute the argument terms for the head.
+    auto body = Expand(view.body);
+    if (!body.ok()) {
+      in_progress_.Remove(atom->rel());
+      return body;
+    }
+    in_progress_.Remove(atom->rel());
+    const Formula* fresh = Rectify(ctx_, *body);
+    Substitution sub;
+    for (size_t i = 0; i < view.head.size(); ++i) {
+      sub.emplace(view.head[i], atom->terms()[i]);
+    }
+    return SubstituteFormula(ctx_, fresh, sub);
+  }
+
+  AstContext& ctx_;
+  const ViewMap& views_;
+  SymbolSet in_progress_;
+};
+
+}  // namespace
+
+StatusOr<const Formula*> ExpandViews(AstContext& ctx, const Formula* f,
+                                     const ViewMap& views) {
+  if (views.empty()) return f;
+  return Expander(ctx, views).Expand(f);
+}
+
+}  // namespace emcalc

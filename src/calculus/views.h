@@ -1,0 +1,27 @@
+// View expansion: named queries usable as relation atoms inside other
+// queries. A view V = {h1,...,hn | phi} makes an atom V(t1,...,tn) stand
+// for phi with hi replaced by ti (bound variables freshly renamed), i.e.
+// views are macros over the calculus — after expansion the safety analysis
+// and translation see plain formulas, so safety composes automatically.
+#ifndef EMCALC_CALCULUS_VIEWS_H_
+#define EMCALC_CALCULUS_VIEWS_H_
+
+#include <map>
+
+#include "src/base/status.h"
+#include "src/calculus/ast.h"
+
+namespace emcalc {
+
+// View name -> definition.
+using ViewMap = std::map<Symbol, Query>;
+
+// Replaces every atom whose relation symbol names a view with the view's
+// expanded body (recursively; views may reference other views). Errors on
+// arity mismatches and cyclic view references.
+StatusOr<const Formula*> ExpandViews(AstContext& ctx, const Formula* f,
+                                     const ViewMap& views);
+
+}  // namespace emcalc
+
+#endif  // EMCALC_CALCULUS_VIEWS_H_

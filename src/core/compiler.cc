@@ -1,0 +1,160 @@
+#include "src/core/compiler.h"
+
+#include <algorithm>
+
+#include "src/algebra/optimizer.h"
+#include "src/algebra/printer.h"
+#include "src/calculus/analysis.h"
+#include "src/calculus/parser.h"
+#include "src/calculus/printer.h"
+#include "src/calculus/rewrite.h"
+#include "src/translate/algebra_gen.h"
+#include "src/translate/ranf.h"
+
+namespace emcalc {
+
+std::string CompiledQuery::QueryString() const {
+  return QueryToString(owner_->ctx(), query_);
+}
+
+std::string CompiledQuery::PlanString() const {
+  return AlgExprToString(owner_->ctx(), translation_.plan);
+}
+
+std::string CompiledQuery::PlanTreeString() const {
+  return AlgExprToTreeString(owner_->ctx(), translation_.plan);
+}
+
+StatusOr<Relation> CompiledQuery::Run(const Database& db,
+                                      AlgebraEvalStats* stats) const {
+  return EvaluateAlgebra(owner_->ctx(), translation_.plan, db,
+                         owner_->functions(), stats);
+}
+
+Compiler::Compiler() : Compiler(BuiltinFunctions()) {}
+
+Compiler::Compiler(FunctionRegistry functions)
+    : ctx_(std::make_unique<AstContext>()), functions_(std::move(functions)) {}
+
+StatusOr<CompiledQuery> Compiler::Compile(std::string_view text,
+                                          const TranslateOptions& options) {
+  auto q = ParseQuery(*ctx_, text);
+  if (!q.ok()) return q.status();
+  return CompileQuery(*q, options);
+}
+
+Status Compiler::DefineView(std::string_view name,
+                            std::string_view query_text) {
+  Symbol sym = ctx_->symbols().Intern(name);
+  auto q = ParseQuery(*ctx_, query_text);
+  if (!q.ok()) return q.status();
+  if (Status s = CheckWellFormed(*q, ctx_->symbols()); !s.ok()) return s;
+  // Reject definitions whose own expansion would be cyclic right away.
+  ViewMap candidate = views_;
+  candidate[sym] = *q;
+  auto expanded = ExpandViews(*ctx_, q->body, candidate);
+  if (!expanded.ok()) return expanded.status();
+  views_[sym] = std::move(q).value();
+  return Status::Ok();
+}
+
+StatusOr<CompiledQuery> Compiler::CompileQuery(
+    const Query& q, const TranslateOptions& options) {
+  Query expanded = q;
+  auto body = ExpandViews(*ctx_, q.body, views_);
+  if (!body.ok()) return body.status();
+  expanded.body = *body;
+  auto translation = TranslateQuery(*ctx_, expanded, options);
+  if (!translation.ok()) return translation.status();
+  return CompiledQuery(this, expanded, std::move(translation).value());
+}
+
+StatusOr<ParameterizedQuery> Compiler::CompileParameterized(
+    std::string_view text, const std::vector<std::string>& params,
+    const TranslateOptions& options) {
+  auto parsed = ParseQuery(*ctx_, text);
+  if (!parsed.ok()) return parsed.status();
+  Query q = std::move(parsed).value();
+  auto expanded_body = ExpandViews(*ctx_, q.body, views_);
+  if (!expanded_body.ok()) return expanded_body.status();
+  q.body = *expanded_body;
+
+  std::vector<Symbol> param_syms;
+  for (const std::string& p : params) {
+    param_syms.push_back(ctx_->symbols().Intern(p));
+  }
+  SymbolSet param_set(param_syms);
+  if (param_set.size() != param_syms.size()) {
+    return InvalidArgumentError("duplicate parameter name");
+  }
+  // The bare-formula query form puts every free variable in the head;
+  // parameters are outputs of neither form.
+  q.head.erase(std::remove_if(q.head.begin(), q.head.end(),
+                              [&](Symbol v) { return param_set.Contains(v); }),
+               q.head.end());
+
+  if (Status s = CheckWellFormed(q.body, ctx_->symbols()); !s.ok()) return s;
+  SymbolSet expected = SymbolSet(q.head).Union(param_set);
+  if (FreeVars(q.body) != expected) {
+    return InvalidArgumentError(
+        "body's free variables must be exactly head + parameters");
+  }
+  for (Symbol h : q.head) {
+    if (param_set.Contains(h)) {
+      return InvalidArgumentError("head variable is also a parameter");
+    }
+  }
+
+  // Safety relative to the parameter context ("em-allowed for X").
+  BoundOptions bound = options.bound;
+  for (const auto& [fn, inv] : options.inverse_fns) {
+    bound.invertible_fns.Insert(fn);
+  }
+  EmAllowedChecker checker(*ctx_, bound);
+  SafetyResult safety = checker.CheckFormula(q.body, param_set);
+  if (!safety.em_allowed) {
+    return NotSafeError("query is not em-allowed for its parameters: " +
+                        safety.reason);
+  }
+
+  EnfOptions enf_options;
+  enf_options.enable_t10 = options.enable_t10;
+  enf_options.bound = bound;
+  const Formula* enf = ToEnf(*ctx_, q.body, enf_options);
+  auto ranf = ToRanf(*ctx_, enf, param_set, bound.invertible_fns);
+  if (!ranf.ok()) return ranf.status();
+  return ParameterizedQuery(this, std::move(q), std::move(param_syms),
+                            *ranf, options.inverse_fns);
+}
+
+StatusOr<const AlgExpr*> ParameterizedQuery::PlanFor(
+    const std::vector<Value>& args) const {
+  if (args.size() != params_.size()) {
+    return InvalidArgumentError(
+        "expected " + std::to_string(params_.size()) + " arguments, got " +
+        std::to_string(args.size()));
+  }
+  AstContext& ctx = owner_->ctx();
+  Substitution sub;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    sub.emplace(params_[i], ctx.MakeConst(args[i]));
+  }
+  // Constant substitution turns "RANF for params" into "RANF for {}".
+  const Formula* grounded = SubstituteFormula(ctx, ranf_, sub);
+  AlgebraGenerator generator(ctx, inverses_);
+  auto plan = generator.Translate(grounded, query_.head);
+  if (!plan.ok()) return plan.status();
+  AlgebraFactory factory(ctx);
+  return OptimizePlan(factory, *plan);
+}
+
+StatusOr<Relation> ParameterizedQuery::Run(const Database& db,
+                                           const std::vector<Value>& args,
+                                           AlgebraEvalStats* stats) const {
+  auto plan = PlanFor(args);
+  if (!plan.ok()) return plan.status();
+  return EvaluateAlgebra(owner_->ctx(), *plan, db, owner_->functions(),
+                         stats);
+}
+
+}  // namespace emcalc

@@ -1,0 +1,142 @@
+// Public entry point: compile calculus query text into an executable
+// extended-algebra plan and run it against database instances.
+//
+//   emcalc::Compiler compiler;                       // builtin functions
+//   auto q = compiler.Compile(
+//       "{y | exists x (R(x) and y = succ(x))}");
+//   if (!q.ok()) { ... q.status().message() ... }
+//   auto answer = q->Run(db);
+//
+// One Compiler owns one AstContext; every CompiledQuery it produces remains
+// valid for the compiler's lifetime.
+#ifndef EMCALC_CORE_COMPILER_H_
+#define EMCALC_CORE_COMPILER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/algebra/eval.h"
+#include "src/base/status.h"
+#include "src/calculus/ast.h"
+#include "src/calculus/views.h"
+#include "src/storage/database.h"
+#include "src/storage/interpretation.h"
+#include "src/translate/pipeline.h"
+
+namespace emcalc {
+
+class Compiler;
+
+// A safety-checked, translated query ready to execute.
+class CompiledQuery {
+ public:
+  const Query& query() const { return query_; }
+  const Translation& translation() const { return translation_; }
+  const AlgExpr* plan() const { return translation_.plan; }
+
+  // Pretty forms for display.
+  std::string QueryString() const;
+  std::string PlanString() const;
+  std::string PlanTreeString() const;
+
+  // Executes the plan against `db` using the owning compiler's functions.
+  StatusOr<Relation> Run(const Database& db,
+                         AlgebraEvalStats* stats = nullptr) const;
+
+ private:
+  friend class Compiler;
+  CompiledQuery(const Compiler* owner, Query query, Translation translation)
+      : owner_(owner), query_(std::move(query)),
+        translation_(std::move(translation)) {}
+
+  const Compiler* owner_;
+  Query query_;
+  Translation translation_;
+};
+
+// A query with host-program parameters — the paper's "em-allowed for X"
+// (Section 9): the parameter variables are free in the body but bound by
+// the embedding program, so the safety analysis treats them as already
+// confined to finite sets. Example:
+//
+//   auto q = compiler.CompileParameterized(
+//       "{e | EMP(e, d, s) and with_raise(s) <= cap}", {"d", "cap"});
+//   auto answer = q->Run(db, {Value::Int(3), Value::Int(90000)});
+//
+// Each Run substitutes the argument values as constants into the stored
+// RANF form (constant substitution preserves RANF relative to the empty
+// context) and generates a fresh plan; generation is microsecond-scale.
+class ParameterizedQuery {
+ public:
+  const std::vector<Symbol>& parameters() const { return params_; }
+  const Query& query() const { return query_; }
+
+  // Executes with `args` bound to parameters() position-wise.
+  StatusOr<Relation> Run(const Database& db, const std::vector<Value>& args,
+                         AlgebraEvalStats* stats = nullptr) const;
+
+  // The plan for given argument values (for inspection).
+  StatusOr<const AlgExpr*> PlanFor(const std::vector<Value>& args) const;
+
+ private:
+  friend class Compiler;
+  ParameterizedQuery(Compiler* owner, Query query, std::vector<Symbol> params,
+                     const Formula* ranf, std::map<Symbol, Symbol> inverses)
+      : owner_(owner), query_(std::move(query)), params_(std::move(params)),
+        ranf_(ranf), inverses_(std::move(inverses)) {}
+
+  Compiler* owner_;
+  Query query_;  // head = output variables; body free vars = head + params
+  std::vector<Symbol> params_;
+  const Formula* ranf_;  // RANF for the context `params_`
+  std::map<Symbol, Symbol> inverses_;  // declared function inverses
+};
+
+// Parses, safety-checks, and translates queries. Not copyable or movable:
+// CompiledQuery objects hold a pointer back to their compiler.
+class Compiler {
+ public:
+  // Uses the builtin scalar functions (see storage/interpretation.h).
+  Compiler();
+  explicit Compiler(FunctionRegistry functions);
+
+  Compiler(const Compiler&) = delete;
+  Compiler& operator=(const Compiler&) = delete;
+
+  // Parses and translates `text` ("{x | ...}" or a bare formula).
+  StatusOr<CompiledQuery> Compile(std::string_view text,
+                                  const TranslateOptions& options = {});
+
+  // Translates an already-built query (for programmatic construction).
+  StatusOr<CompiledQuery> CompileQuery(const Query& q,
+                                       const TranslateOptions& options = {});
+
+  // Compiles a parameterized query: the body's free variables must be
+  // exactly the head variables plus `params`, and the body must be
+  // em-allowed *for* the parameter set.
+  StatusOr<ParameterizedQuery> CompileParameterized(
+      std::string_view text, const std::vector<std::string>& params,
+      const TranslateOptions& options = {});
+
+  // Defines a view: a named query usable as a relation atom in later
+  // queries (and view definitions). Views are expanded inline before the
+  // safety analysis, so a query over views is safe iff its expansion is.
+  // The view itself must be well-formed but need not be em-allowed on its
+  // own (e.g. {x, y | f(x) = y} is a fine view when every use bounds x).
+  Status DefineView(std::string_view name, std::string_view query_text);
+
+  AstContext& ctx() { return *ctx_; }
+  const AstContext& ctx() const { return *ctx_; }
+  FunctionRegistry& functions() { return functions_; }
+  const FunctionRegistry& functions() const { return functions_; }
+
+ private:
+  std::unique_ptr<AstContext> ctx_;
+  FunctionRegistry functions_;
+  ViewMap views_;
+};
+
+}  // namespace emcalc
+
+#endif  // EMCALC_CORE_COMPILER_H_

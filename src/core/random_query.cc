@@ -1,0 +1,140 @@
+#include "src/core/random_query.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/base/check.h"
+#include "src/calculus/analysis.h"
+#include "src/calculus/builder.h"
+#include "src/safety/em_allowed.h"
+
+namespace emcalc {
+
+RandomQueryGen::RandomQueryGen(AstContext& ctx, uint64_t seed,
+                               RandomQueryOptions options)
+    : ctx_(ctx), options_(options), rng_(seed) {
+  EMCALC_CHECK(options_.num_relations > 0);
+  EMCALC_CHECK(options_.max_vars > 0);
+  for (int i = 0; i < options_.num_relations; ++i) {
+    rel_names_.push_back(ctx_.symbols().Intern("R" + std::to_string(i)));
+    rel_arities_.push_back(1 + (i % options_.max_rel_arity));
+  }
+  for (int i = 0; i < options_.num_functions; ++i) {
+    fn_names_.push_back(ctx_.symbols().Intern("rf" + std::to_string(i)));
+    fn_arities_.push_back(1 + (i % 2));
+  }
+}
+
+const Term* RandomQueryGen::RandomTerm(const std::vector<Symbol>& vars,
+                                       bool allow_fn) {
+  int roll = Pick(10);
+  if (roll < 6 || vars.empty()) {
+    if (!vars.empty()) return ctx_.MakeVar(vars[Pick(static_cast<int>(vars.size()))]);
+    return ctx_.MakeConst(Value::Int(Pick(5)));
+  }
+  if (roll < 8 || !allow_fn || fn_names_.empty()) {
+    return ctx_.MakeConst(Value::Int(Pick(5)));
+  }
+  int f = Pick(static_cast<int>(fn_names_.size()));
+  std::vector<const Term*> args;
+  for (int i = 0; i < fn_arities_[f]; ++i) {
+    args.push_back(
+        ctx_.MakeVar(vars[Pick(static_cast<int>(vars.size()))]));
+  }
+  return ctx_.MakeApply(fn_names_[f], args);
+}
+
+const Formula* RandomQueryGen::RelAtom(const std::vector<Symbol>& vars) {
+  int r = Pick(static_cast<int>(rel_names_.size()));
+  std::vector<const Term*> args;
+  for (int i = 0; i < rel_arities_[r]; ++i) {
+    args.push_back(RandomTerm(vars, /*allow_fn=*/Flip(0.2)));
+  }
+  return ctx_.MakeRel(rel_names_[r], args);
+}
+
+const Formula* RandomQueryGen::Conjunction(const std::vector<Symbol>& vars,
+                                           int depth) {
+  std::vector<const Formula*> cs;
+  int n_atoms = 1 + Pick(options_.max_conjuncts);
+  for (int i = 0; i < n_atoms; ++i) cs.push_back(RelAtom(vars));
+
+  if (!vars.empty() && !fn_names_.empty() && Flip(options_.p_function_eq)) {
+    int f = Pick(static_cast<int>(fn_names_.size()));
+    std::vector<const Term*> args;
+    for (int i = 0; i < fn_arities_[f]; ++i) {
+      args.push_back(ctx_.MakeVar(vars[Pick(static_cast<int>(vars.size()))]));
+    }
+    const Term* target =
+        ctx_.MakeVar(vars[Pick(static_cast<int>(vars.size()))]);
+    cs.push_back(ctx_.MakeEq(ctx_.MakeApply(fn_names_[f], args), target));
+  }
+
+  if (!vars.empty() && Flip(options_.p_inequality)) {
+    const Term* a = ctx_.MakeVar(vars[Pick(static_cast<int>(vars.size()))]);
+    const Term* b = RandomTerm(vars, /*allow_fn=*/true);
+    switch (Pick(3)) {
+      case 0:
+        cs.push_back(ctx_.MakeNeq(a, b));
+        break;
+      case 1:
+        cs.push_back(ctx_.MakeLess(a, b));
+        break;
+      default:
+        cs.push_back(ctx_.MakeLessEq(a, b));
+        break;
+    }
+  }
+
+  if (depth > 0 && Flip(options_.p_negation)) {
+    cs.push_back(builder::Not(
+        ctx_, Flip(0.5) ? RelAtom(vars) : Block(vars, depth - 1)));
+  }
+
+  if (depth > 0 && Flip(options_.p_exists)) {
+    int nq = 1 + Pick(2);
+    std::vector<Symbol> qvars;
+    std::vector<Symbol> inner = vars;
+    for (int i = 0; i < nq; ++i) {
+      Symbol q = ctx_.symbols().Intern("q" + std::to_string(fresh_++));
+      qvars.push_back(q);
+      inner.push_back(q);
+    }
+    const Formula* body = Conjunction(inner, depth - 1);
+    cs.push_back(builder::Exists(ctx_, std::move(qvars), body));
+  }
+
+  std::shuffle(cs.begin(), cs.end(), rng_);
+  return builder::And(ctx_, std::move(cs));
+}
+
+const Formula* RandomQueryGen::Block(const std::vector<Symbol>& outer_vars,
+                                     int depth) {
+  if (depth > 0 && Flip(options_.p_disjunction)) {
+    const Formula* a = Conjunction(outer_vars, depth - 1);
+    const Formula* b = Conjunction(outer_vars, depth - 1);
+    return builder::Or(ctx_, {a, b});
+  }
+  return Conjunction(outer_vars, depth);
+}
+
+Query RandomQueryGen::Next() {
+  int nv = 1 + Pick(options_.max_vars);
+  std::vector<Symbol> vars;
+  for (int i = 0; i < nv; ++i) {
+    vars.push_back(ctx_.symbols().Intern("x" + std::to_string(i)));
+  }
+  const Formula* body = Block(vars, options_.max_depth);
+  SymbolSet free = FreeVars(body);
+  return Query{{free.begin(), free.end()}, body};
+}
+
+std::optional<Query> RandomQueryGen::NextEmAllowed(int max_attempts) {
+  for (int i = 0; i < max_attempts; ++i) {
+    Query q = Next();
+    if (CheckEmAllowed(ctx_, q).em_allowed) return q;
+  }
+  return std::nullopt;
+}
+
+}  // namespace emcalc

@@ -1,0 +1,72 @@
+// Seeded random query generation for the property-based tests (soundness of
+// the translation against the reference evaluator) and the safety-check
+// benchmarks. The generator is structured to produce a healthy mix of
+// em-allowed and rejected formulas: conjunctive cores over relation atoms,
+// function-equality bindings, negations, union-compatible disjunctions, and
+// existential closures.
+#ifndef EMCALC_CORE_RANDOM_QUERY_H_
+#define EMCALC_CORE_RANDOM_QUERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "src/calculus/ast.h"
+
+namespace emcalc {
+
+// Shape knobs for the generator.
+struct RandomQueryOptions {
+  int num_relations = 3;    // R0..R{n-1}
+  int max_rel_arity = 3;
+  int num_functions = 2;    // f0 (unary) .. ; arity alternates 1,2
+  int max_vars = 4;         // variable pool x0..x{n-1}
+  int max_conjuncts = 4;
+  int max_depth = 3;        // nesting of or / exists / not blocks
+  double p_function_eq = 0.5;   // chance of adding an f(x)=y binding
+  double p_negation = 0.4;      // chance of adding a negated conjunct
+  double p_disjunction = 0.35;  // chance a block is a 2-way disjunction
+  double p_exists = 0.5;        // chance of existentially closing some vars
+  double p_inequality = 0.25;   // chance of adding a != filter
+};
+
+// Deterministic for a given (seed, options).
+class RandomQueryGen {
+ public:
+  RandomQueryGen(AstContext& ctx, uint64_t seed,
+                 RandomQueryOptions options = {});
+
+  // An arbitrary well-formed query (may or may not be em-allowed).
+  Query Next();
+
+  // Rejection-samples an em-allowed query; nullopt after max_attempts.
+  std::optional<Query> NextEmAllowed(int max_attempts = 50);
+
+  // The relation schema the generator draws from (name index -> arity),
+  // for building matching random instances.
+  const std::vector<int>& relation_arities() const { return rel_arities_; }
+
+ private:
+  const Formula* Block(const std::vector<Symbol>& outer_vars, int depth);
+  const Formula* Conjunction(const std::vector<Symbol>& vars, int depth);
+  const Formula* RelAtom(const std::vector<Symbol>& vars);
+  const Term* RandomTerm(const std::vector<Symbol>& vars, bool allow_fn);
+
+  bool Flip(double p) { return dist_(rng_) < p; }
+  int Pick(int n) { return static_cast<int>(rng_() % n); }
+
+  AstContext& ctx_;
+  RandomQueryOptions options_;
+  std::mt19937_64 rng_;
+  std::uniform_real_distribution<double> dist_{0.0, 1.0};
+  std::vector<int> rel_arities_;
+  std::vector<Symbol> rel_names_;
+  std::vector<Symbol> fn_names_;
+  std::vector<int> fn_arities_;
+  uint64_t fresh_ = 0;
+};
+
+}  // namespace emcalc
+
+#endif  // EMCALC_CORE_RANDOM_QUERY_H_

@@ -1,0 +1,81 @@
+#include "src/core/workload.h"
+
+#include <random>
+
+#include "src/base/check.h"
+
+namespace emcalc {
+
+void AddRandomTuples(Database& db, const std::string& name, int arity,
+                     size_t rows, int value_pool, uint64_t seed,
+                     double string_share) {
+  EMCALC_CHECK(value_pool > 0);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> pick(0, value_pool - 1);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  EMCALC_CHECK(db.AddRelation(name, arity).ok());
+  for (size_t i = 0; i < rows; ++i) {
+    Tuple t;
+    t.reserve(arity);
+    for (int c = 0; c < arity; ++c) {
+      int v = pick(rng);
+      if (unit(rng) < string_share) {
+        t.push_back(Value::Str("s" + std::to_string(v)));
+      } else {
+        t.push_back(Value::Int(v));
+      }
+    }
+    EMCALC_CHECK(db.Insert(name, std::move(t)).ok());
+  }
+}
+
+Database RandomDatabase(
+    const std::vector<std::pair<std::string, int>>& schema, size_t rows,
+    int value_pool, uint64_t seed) {
+  Database db;
+  uint64_t salt = 0;
+  for (const auto& [name, arity] : schema) {
+    AddRandomTuples(db, name, arity, rows, value_pool, seed + (salt++) * 7919);
+  }
+  return db;
+}
+
+Database MakeQ6Instance(size_t r_rows, size_t s_rows, int value_pool,
+                        uint64_t seed) {
+  Database db;
+  AddRandomTuples(db, "R", 3, r_rows, value_pool, seed);
+  AddRandomTuples(db, "S", 2, s_rows, value_pool, seed + 1);
+  return db;
+}
+
+Database MakePayrollInstance(size_t employees, size_t departments,
+                             uint64_t seed) {
+  Database db;
+  std::mt19937_64 rng(seed);
+  EMCALC_CHECK(db.AddRelation("EMP", 3).ok());
+  EMCALC_CHECK(db.AddRelation("DEPT", 2).ok());
+  EMCALC_CHECK(db.AddRelation("BONUS", 2).ok());
+  size_t ndept = departments == 0 ? 1 : departments;
+  for (size_t d = 0; d < ndept; ++d) {
+    int64_t budget = 50'000 + static_cast<int64_t>(rng() % 100) * 1'000;
+    EMCALC_CHECK(db.Insert("DEPT", {Value::Int(static_cast<int64_t>(d)),
+                                    Value::Int(budget)})
+                     .ok());
+  }
+  for (size_t e = 0; e < employees; ++e) {
+    int64_t dept = static_cast<int64_t>(rng() % ndept);
+    int64_t salary = 30'000 + static_cast<int64_t>(rng() % 700) * 100;
+    EMCALC_CHECK(db.Insert("EMP", {Value::Int(static_cast<int64_t>(e)),
+                                   Value::Int(dept), Value::Int(salary)})
+                     .ok());
+    if (rng() % 3 == 0) {
+      EMCALC_CHECK(db.Insert("BONUS", {Value::Int(static_cast<int64_t>(e)),
+                                       Value::Int(static_cast<int64_t>(
+                                           rng() % 5000))})
+                       .ok());
+    }
+  }
+  return db;
+}
+
+}  // namespace emcalc

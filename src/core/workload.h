@@ -1,0 +1,40 @@
+// Synthetic instance generators for tests, benchmarks, and examples.
+#ifndef EMCALC_CORE_WORKLOAD_H_
+#define EMCALC_CORE_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/storage/database.h"
+
+namespace emcalc {
+
+// Appends `rows` random tuples to `name` (created with `arity` on first
+// use). Values are drawn uniformly from the integers [0, value_pool); with
+// string_share > 0, that share of columns draws from a pool of short
+// strings instead.
+void AddRandomTuples(Database& db, const std::string& name, int arity,
+                     size_t rows, int value_pool, uint64_t seed,
+                     double string_share = 0.0);
+
+// A database for a schema [(name, arity), ...] with `rows` tuples each.
+Database RandomDatabase(
+    const std::vector<std::pair<std::string, int>>& schema, size_t rows,
+    int value_pool, uint64_t seed);
+
+// The instance family of experiment E2 (paper query q6
+// {x,y,z | R(x,y,z) and not S(y,z)}): R/3 with `r_rows` tuples and S/2 with
+// `s_rows` tuples, value pool shared so the difference is selective.
+Database MakeQ6Instance(size_t r_rows, size_t s_rows, int value_pool,
+                        uint64_t seed);
+
+// The payroll instance used by the payroll example and experiment E9:
+//   EMP(id, dept, salary), DEPT(dept, budget), BONUS(id, amount).
+Database MakePayrollInstance(size_t employees, size_t departments,
+                             uint64_t seed);
+
+}  // namespace emcalc
+
+#endif  // EMCALC_CORE_WORKLOAD_H_

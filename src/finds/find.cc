@@ -1,0 +1,13 @@
+#include "src/finds/find.h"
+
+namespace emcalc {
+
+std::string FinD::ToString(const SymbolTable& symbols) const {
+  return lhs.ToString(symbols) + "->" + rhs.ToString(symbols);
+}
+
+bool Refines(const FinD& a, const FinD& b) {
+  return a.lhs.IsSubsetOf(b.lhs) && b.rhs.IsSubsetOf(a.rhs);
+}
+
+}  // namespace emcalc

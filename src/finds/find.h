@@ -1,0 +1,44 @@
+// Finiteness dependencies (FinDs), adopted from [RBS87] and generalized by
+// the paper (Section 5). A FinD X -> Y over the variables of a formula
+// means: in any satisfying valuation set, once the variables of X are
+// confined to finite sets, the variables of Y are confined to finite sets.
+// FinDs satisfy Armstrong's axioms, so functional-dependency machinery
+// (closures, covers) applies directly [BB79, Ull88].
+#ifndef EMCALC_FINDS_FIND_H_
+#define EMCALC_FINDS_FIND_H_
+
+#include <string>
+
+#include "src/base/symbol_set.h"
+
+namespace emcalc {
+
+// A single finiteness dependency lhs -> rhs.
+struct FinD {
+  SymbolSet lhs;
+  SymbolSet rhs;
+
+  // Trivial dependencies (rhs subset of lhs) carry no information.
+  bool IsTrivial() const { return rhs.IsSubsetOf(lhs); }
+
+  friend bool operator==(const FinD& a, const FinD& b) {
+    return a.lhs == b.lhs && a.rhs == b.rhs;
+  }
+  // Canonical order (by lhs, then rhs) for deterministic covers.
+  friend bool operator<(const FinD& a, const FinD& b) {
+    if (a.lhs != b.lhs) return a.lhs < b.lhs;
+    return a.rhs < b.rhs;
+  }
+
+  // "{x,y}->{z}" rendering.
+  std::string ToString(const SymbolTable& symbols) const;
+};
+
+// The paper's refinement partial order: W -> U refines X -> Y (written
+// W->U <= X->Y) iff W is a subset of X and U is a superset of Y. A refining
+// FinD is at least as strong: it needs less to conclude more.
+bool Refines(const FinD& a, const FinD& b);
+
+}  // namespace emcalc
+
+#endif  // EMCALC_FINDS_FIND_H_

@@ -1,0 +1,242 @@
+#include "src/finds/find_set.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "src/base/check.h"
+
+namespace emcalc {
+
+void FinDSet::Add(FinD f) {
+  if (f.IsTrivial()) return;
+  for (const FinD& existing : finds_) {
+    if (existing == f) return;
+  }
+  finds_.push_back(std::move(f));
+}
+
+void FinDSet::AddAll(const FinDSet& other) {
+  for (const FinD& f : other.finds_) Add(f);
+}
+
+SymbolSet FinDSet::Closure(const SymbolSet& x) const {
+  SymbolSet result = x;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FinD& f : finds_) {
+      if (f.lhs.IsSubsetOf(result) && !f.rhs.IsSubsetOf(result)) {
+        result = result.Union(f.rhs);
+        changed = true;
+      }
+    }
+  }
+  return result;
+}
+
+SymbolSet FinDSet::LinearClosure(const SymbolSet& x) const {
+  // Beeri–Bernstein: one counter per FinD of outstanding lhs variables and
+  // an index from variable to the FinDs whose lhs mentions it. Each FinD
+  // fires exactly once, when its counter reaches zero.
+  std::vector<size_t> pending(finds_.size());
+  std::unordered_map<Symbol, std::vector<size_t>> uses;
+  std::vector<Symbol> queue(x.begin(), x.end());
+  SymbolSet result = x;
+
+  for (size_t i = 0; i < finds_.size(); ++i) {
+    pending[i] = finds_[i].lhs.size();
+    for (Symbol v : finds_[i].lhs) uses[v].push_back(i);
+    if (pending[i] == 0) {
+      for (Symbol v : finds_[i].rhs) {
+        if (!result.Contains(v)) {
+          result.Insert(v);
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+
+  while (!queue.empty()) {
+    Symbol v = queue.back();
+    queue.pop_back();
+    auto it = uses.find(v);
+    if (it == uses.end()) continue;
+    for (size_t i : it->second) {
+      EMCALC_CHECK(pending[i] > 0);
+      if (--pending[i] == 0) {
+        for (Symbol w : finds_[i].rhs) {
+          if (!result.Contains(w)) {
+            result.Insert(w);
+            queue.push_back(w);
+          }
+        }
+      }
+    }
+    it->second.clear();  // each (var, FinD) edge is consumed once
+  }
+  return result;
+}
+
+bool FinDSet::SameAs(const FinDSet& other) const {
+  if (finds_.size() != other.finds_.size()) return false;
+  std::vector<FinD> a = finds_;
+  std::vector<FinD> b = other.finds_;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+bool FinDSet::EntailsAll(const FinDSet& other) const {
+  for (const FinD& f : other.finds_) {
+    if (!Entails(f)) return false;
+  }
+  return true;
+}
+
+FinDSet FinDSet::Reduce() const {
+  // 1. Expand right-hand sides to singletons and drop trivial FinDs.
+  std::vector<FinD> work;
+  for (const FinD& f : finds_) {
+    for (Symbol y : f.rhs) {
+      if (!f.lhs.Contains(y)) work.push_back(FinD{f.lhs, SymbolSet{y}});
+    }
+  }
+
+  // 2. Left-reduce each FinD against the full original set.
+  for (FinD& f : work) {
+    bool shrunk = true;
+    while (shrunk) {
+      shrunk = false;
+      for (Symbol z : f.lhs.elems()) {
+        SymbolSet smaller = f.lhs;
+        smaller.Remove(z);
+        if (Closure(smaller).Contains(f.rhs.elems()[0])) {
+          f.lhs = smaller;
+          shrunk = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Canonical order and dedup before the redundancy pass so the result is
+  // deterministic regardless of input order.
+  std::sort(work.begin(), work.end());
+  work.erase(std::unique(work.begin(), work.end()), work.end());
+
+  // 3. Drop FinDs entailed by the remaining ones.
+  std::vector<bool> keep(work.size(), true);
+  for (size_t i = 0; i < work.size(); ++i) {
+    FinDSet rest;
+    for (size_t j = 0; j < work.size(); ++j) {
+      if (j != i && keep[j]) rest.finds_.push_back(work[j]);
+    }
+    if (rest.Entails(work[i])) keep[i] = false;
+  }
+
+  // 4. Merge FinDs with identical left-hand sides.
+  std::map<SymbolSet, SymbolSet> by_lhs;
+  for (size_t i = 0; i < work.size(); ++i) {
+    if (!keep[i]) continue;
+    by_lhs[work[i].lhs] = by_lhs[work[i].lhs].Union(work[i].rhs);
+  }
+  FinDSet out;
+  for (auto& [lhs, rhs] : by_lhs) out.finds_.push_back(FinD{lhs, rhs});
+  return out;
+}
+
+FinDSet FinDSet::Restrict(const SymbolSet& vars) const {
+  FinDSet reduced = Reduce();
+  FinDSet out;
+  for (const FinD& f : reduced) {
+    if (!f.lhs.IsSubsetOf(vars)) continue;
+    SymbolSet rhs = Closure(f.lhs).Intersect(vars).Minus(f.lhs);
+    if (!rhs.empty()) out.Add(FinD{f.lhs, rhs});
+  }
+  return out.Reduce();
+}
+
+FinDSet FinDSet::RestrictExact(const SymbolSet& vars) const {
+  EMCALC_CHECK_MSG(vars.size() <= 16, "RestrictExact limited to 16 vars");
+  std::vector<Symbol> v(vars.begin(), vars.end());
+  FinDSet out;
+  for (uint32_t mask = 0; mask < (1u << v.size()); ++mask) {
+    SymbolSet x;
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (mask & (1u << i)) x.Insert(v[i]);
+    }
+    SymbolSet rhs = Closure(x).Intersect(vars).Minus(x);
+    if (!rhs.empty()) out.Add(FinD{x, rhs});
+  }
+  return out.Reduce();
+}
+
+FinDSet FinDSet::Meet(const FinDSet& other, const SymbolSet& vars,
+                      bool reduce) const {
+  FinDSet left_reduced, right_reduced;
+  if (reduce) {
+    left_reduced = Reduce();
+    right_reduced = other.Reduce();
+  }
+  const FinDSet& left = reduce ? left_reduced : *this;
+  const FinDSet& right = reduce ? right_reduced : other;
+
+  // Candidate left-hand sides: the empty set, each reduced lhs from either
+  // side, and all pairwise unions. Every candidate's joint bound is sound
+  // (it uses both closures); the candidate family is the heuristic part.
+  std::vector<SymbolSet> candidates;
+  candidates.push_back(SymbolSet{});
+  for (const FinD& f : left) candidates.push_back(f.lhs);
+  for (const FinD& g : right) candidates.push_back(g.lhs);
+  for (const FinD& f : left) {
+    for (const FinD& g : right) {
+      candidates.push_back(f.lhs.Union(g.lhs));
+    }
+  }
+
+  FinDSet out;
+  for (const SymbolSet& x : candidates) {
+    if (!x.IsSubsetOf(vars)) continue;
+    SymbolSet rhs =
+        Closure(x).Intersect(other.Closure(x)).Intersect(vars).Minus(x);
+    if (!rhs.empty()) out.Add(FinD{x, rhs});
+  }
+  return reduce ? out.Reduce() : out;
+}
+
+FinDSet FinDSet::MeetExact(const FinDSet& other, const SymbolSet& vars) const {
+  EMCALC_CHECK_MSG(vars.size() <= 16, "MeetExact limited to 16 vars");
+  std::vector<Symbol> v(vars.begin(), vars.end());
+  FinDSet out;
+  for (uint32_t mask = 0; mask < (1u << v.size()); ++mask) {
+    SymbolSet x;
+    for (size_t i = 0; i < v.size(); ++i) {
+      if (mask & (1u << i)) x.Insert(v[i]);
+    }
+    SymbolSet rhs =
+        Closure(x).Intersect(other.Closure(x)).Intersect(vars).Minus(x);
+    if (!rhs.empty()) out.Add(FinD{x, rhs});
+  }
+  return out.Reduce();
+}
+
+SymbolSet FinDSet::Vars() const {
+  SymbolSet out;
+  for (const FinD& f : finds_) out = out.Union(f.lhs).Union(f.rhs);
+  return out;
+}
+
+std::string FinDSet::ToString(const SymbolTable& symbols) const {
+  std::vector<FinD> sorted = finds_;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = "{ ";
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += sorted[i].ToString(symbols);
+  }
+  out += " }";
+  return out;
+}
+
+}  // namespace emcalc

@@ -1,0 +1,93 @@
+// Sets of finiteness dependencies: closure, entailment, reduced covers,
+// projection, and the disjunction meet (Section 5 of the paper).
+#ifndef EMCALC_FINDS_FIND_SET_H_
+#define EMCALC_FINDS_FIND_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "src/finds/find.h"
+
+namespace emcalc {
+
+// A finite set of FinDs with value semantics.
+class FinDSet {
+ public:
+  FinDSet() = default;
+  explicit FinDSet(std::vector<FinD> finds) : finds_(std::move(finds)) {}
+
+  bool empty() const { return finds_.empty(); }
+  size_t size() const { return finds_.size(); }
+  const std::vector<FinD>& finds() const { return finds_; }
+  auto begin() const { return finds_.begin(); }
+  auto end() const { return finds_.end(); }
+
+  // Adds a FinD (drops trivial ones).
+  void Add(FinD f);
+  // Adds all FinDs of `other`.
+  void AddAll(const FinDSet& other);
+
+  // The attribute-set closure X+ under this set: the largest Y with
+  // X -> Y entailed. Straightforward fixpoint; O(|finds| * passes).
+  SymbolSet Closure(const SymbolSet& x) const;
+
+  // Same result via the linear-time counter algorithm of Beeri–Bernstein
+  // [BB79]. Exposed separately so the benchmark can compare both.
+  SymbolSet LinearClosure(const SymbolSet& x) const;
+
+  // True if this set entails X -> Y.
+  bool Entails(const SymbolSet& x, const SymbolSet& y) const {
+    return y.IsSubsetOf(LinearClosure(x));
+  }
+  bool Entails(const FinD& f) const { return Entails(f.lhs, f.rhs); }
+  // True if this set entails every FinD of `other`.
+  bool EntailsAll(const FinDSet& other) const;
+  // Mutual entailment (same closure operator).
+  bool EquivalentTo(const FinDSet& other) const {
+    return EntailsAll(other) && other.EntailsAll(*this);
+  }
+
+  // Syntactic equality as sets of FinDs (order-insensitive). Stronger than
+  // EquivalentTo; used by the Top91-safe reconstruction, which compares the
+  // *derivation structure* of bounding information, not just its closure.
+  bool SameAs(const FinDSet& other) const;
+
+  // The paper's *reduced cover*: an equivalent set in which (a) every FinD
+  // is left-reduced (no lhs variable can be dropped), (b) no FinD is
+  // entailed by the others, (c) no FinD refines another (see Refines), and
+  // (d) FinDs with identical lhs are merged. Deterministic canonical order.
+  FinDSet Reduce() const;
+
+  // A sound cover of the FinDs entailed over the variable set `vars`
+  // (FD projection). Heuristic — complete when the reduced cover's
+  // left-hand sides already lie inside `vars`, which is the common case in
+  // bd() computations; RestrictExact is the exponential exact version used
+  // by tests (requires vars.size() <= max_exact_vars).
+  FinDSet Restrict(const SymbolSet& vars) const;
+  FinDSet RestrictExact(const SymbolSet& vars) const;
+
+  // A sound cover of the FinDs over `vars` entailed by BOTH this set and
+  // `other` — the bd() rule for disjunction: a disjunction bounds what all
+  // of its disjuncts bound. Pairwise heuristic (the paper's Section 8
+  // "heuristic to simplify the computations involving FinDs"); MeetExact is
+  // the exponential exact version. With reduce = false, the inputs and the
+  // result are left unreduced — candidate generation then works over the
+  // raw FinD sets and the output accumulates redundant dependencies, which
+  // is exactly the cost the paper's reduced covers avoid (experiment E3).
+  FinDSet Meet(const FinDSet& other, const SymbolSet& vars,
+               bool reduce = true) const;
+  FinDSet MeetExact(const FinDSet& other, const SymbolSet& vars) const;
+
+  // All variables mentioned by any FinD.
+  SymbolSet Vars() const;
+
+  // "{ {x}->{y}, {}->{z} }" rendering.
+  std::string ToString(const SymbolTable& symbols) const;
+
+ private:
+  std::vector<FinD> finds_;
+};
+
+}  // namespace emcalc
+
+#endif  // EMCALC_FINDS_FIND_SET_H_

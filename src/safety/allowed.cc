@@ -1,0 +1,187 @@
+#include "src/safety/allowed.h"
+
+#include <vector>
+
+#include "src/base/symbol_set.h"
+#include "src/calculus/analysis.h"
+#include "src/finds/bound.h"
+#include "src/safety/pushnot.h"
+
+namespace emcalc {
+
+bool IsAllowedGT91(AstContext& ctx, const Formula* f) {
+  if (HasFunctions(f)) return false;
+  return static_cast<bool>(CheckEmAllowed(ctx, f));
+}
+
+namespace {
+
+// Computes the set of range-restricted variables of `f` and records
+// quantifier violations. Purely local per subformula.
+class RangeRestriction {
+ public:
+  explicit RangeRestriction(AstContext& ctx) : ctx_(ctx) {}
+
+  SymbolSet Restricted(const Formula* f) {
+    switch (f->kind()) {
+      case FormulaKind::kTrue:
+      case FormulaKind::kFalse:
+      case FormulaKind::kNeq:
+      case FormulaKind::kLess:
+      case FormulaKind::kLessEq:
+        return SymbolSet{};
+      case FormulaKind::kRel:
+        return DirectVars(f->terms());
+      case FormulaKind::kEq:
+        // Only ground right-hand sides restrict on their own; equalities
+        // between variables or with function terms contribute during the
+        // conjunction fixpoint below.
+        return EqRestricted(f, SymbolSet{});
+      case FormulaKind::kNot: {
+        const Formula* pushed = PushNotStep(ctx_, f);
+        if (pushed == f) return SymbolSet{};
+        return Restricted(pushed);
+      }
+      case FormulaKind::kAnd: {
+        SymbolSet acc;
+        for (const Formula* c : f->children()) {
+          acc = acc.Union(Restricted(c));
+        }
+        // Fixpoint: equalities propagate restriction within a conjunction.
+        bool changed = true;
+        while (changed) {
+          changed = false;
+          for (const Formula* c : f->children()) {
+            if (c->kind() != FormulaKind::kEq) continue;
+            SymbolSet more = EqRestricted(c, acc);
+            if (!more.IsSubsetOf(acc)) {
+              acc = acc.Union(more);
+              changed = true;
+            }
+          }
+        }
+        return acc;
+      }
+      case FormulaKind::kOr: {
+        SymbolSet acc = Restricted(f->children()[0]);
+        for (size_t i = 1; i < f->children().size(); ++i) {
+          acc = acc.Intersect(Restricted(f->children()[i]));
+        }
+        return acc;
+      }
+      case FormulaKind::kExists:
+      case FormulaKind::kForall: {
+        const Formula* body = f->child();
+        if (f->kind() == FormulaKind::kForall) {
+          body = PushNotStep(ctx_, ctx_.MakeNot(body));
+        }
+        SymbolSet inner = Restricted(body);
+        for (Symbol v : f->vars()) {
+          if (!inner.Contains(v)) ok_ = false;
+          inner.Remove(v);
+        }
+        return inner;
+      }
+    }
+    return SymbolSet{};
+  }
+
+  bool ok() const { return ok_; }
+
+ private:
+  // Variables restricted by equality atom `f` given already-restricted
+  // `known`: t = x restricts x when all of t's variables are restricted
+  // (constants trivially, function terms when their arguments are).
+  SymbolSet EqRestricted(const Formula* f, const SymbolSet& known) {
+    SymbolSet out;
+    const Term* l = f->lhs();
+    const Term* r = f->rhs();
+    if (l->is_var() && TermVars(r).IsSubsetOf(known)) {
+      out.Insert(l->symbol());
+    }
+    if (r->is_var() && TermVars(l).IsSubsetOf(known)) {
+      out.Insert(r->symbol());
+    }
+    return out;
+  }
+
+  AstContext& ctx_;
+  bool ok_ = true;
+};
+
+// Top91-safe checker: em-allowed plus uniform bounding across disjuncts.
+// Disjuncts must carry *syntactically identical* raw bd sets — the same
+// derivation structure for their bounding information — not merely
+// equivalent closures (q5's disjuncts are closure-equivalent but derive
+// their bounds in opposite directions; see safety/allowed.h).
+class Top91Checker {
+ public:
+  explicit Top91Checker(AstContext& ctx)
+      : ctx_(ctx), bound_(ctx, BoundOptions{.use_reduced_covers = false}) {}
+
+  bool UniformDisjunctions(const Formula* f) {
+    switch (f->kind()) {
+      case FormulaKind::kTrue:
+      case FormulaKind::kFalse:
+      case FormulaKind::kRel:
+      case FormulaKind::kEq:
+      case FormulaKind::kNeq:
+      case FormulaKind::kLess:
+      case FormulaKind::kLessEq:
+        return true;
+      case FormulaKind::kNot: {
+        const Formula* pushed = PushNotStep(ctx_, f);
+        if (pushed == f) return true;
+        return UniformDisjunctions(pushed);
+      }
+      case FormulaKind::kAnd: {
+        for (const Formula* c : f->children()) {
+          if (!UniformDisjunctions(c)) return false;
+        }
+        return true;
+      }
+      case FormulaKind::kOr: {
+        const FinDSet& first = bound_.Bound(f->children()[0]);
+        for (size_t i = 1; i < f->children().size(); ++i) {
+          if (!bound_.Bound(f->children()[i]).SameAs(first)) {
+            return false;
+          }
+        }
+        for (const Formula* c : f->children()) {
+          if (!UniformDisjunctions(c)) return false;
+        }
+        return true;
+      }
+      case FormulaKind::kExists:
+      case FormulaKind::kForall: {
+        const Formula* body = f->child();
+        if (f->kind() == FormulaKind::kForall) {
+          body = PushNotStep(ctx_, ctx_.MakeNot(body));
+        }
+        return UniformDisjunctions(body);
+      }
+    }
+    return true;
+  }
+
+ private:
+  AstContext& ctx_;
+  BoundAnalyzer bound_;
+};
+
+}  // namespace
+
+bool IsRangeRestricted(AstContext& ctx, const Formula* f) {
+  RangeRestriction rr(ctx);
+  SymbolSet restricted = rr.Restricted(f);
+  if (!rr.ok()) return false;
+  return FreeVars(f).IsSubsetOf(restricted);
+}
+
+bool IsTop91Safe(AstContext& ctx, const Formula* f) {
+  if (!CheckEmAllowed(ctx, f)) return false;
+  Top91Checker checker(ctx);
+  return checker.UniformDisjunctions(f);
+}
+
+}  // namespace emcalc

@@ -1,0 +1,43 @@
+// Comparison safety criteria used by the containment experiment (E8):
+//
+//  - IsAllowedGT91: the classical function-free "allowed" criterion
+//    [Top87, GT91]. The paper states that em-allowed restricted to
+//    function-free formulas coincides with allowed, and we define it that
+//    way (DESIGN.md, reconstruction R2); it rejects every formula that
+//    mentions a scalar function.
+//
+//  - IsRangeRestricted: the AB88-style range-restriction. Purely local:
+//    a variable is restricted only by positive relation atoms, equalities
+//    with constants, equalities with already-restricted variables, and
+//    function applications of already-restricted variables, computed per
+//    subformula without help from the enclosing context. The paper's q2
+//    (R(x) and exists y (f(x) = y and not R(y))) is em-allowed but not
+//    range-restricted.
+//
+//  - IsTop91Safe: the safety criterion of [Top91]. Reconstructed
+//    (DESIGN.md R7) as em-allowed strengthened at disjunctions: all
+//    disjuncts must carry *syntactically identical* raw FinD sets — i.e.
+//    derive their bounding information the same way — rather than merely a
+//    non-empty meet. The paper's q5
+//    ((R(x) and f(x)=y) or (S(y) and g(y)=x)) is em-allowed but not safe:
+//    its disjuncts bound {x,y} in opposite derivation orders.
+#ifndef EMCALC_SAFETY_ALLOWED_H_
+#define EMCALC_SAFETY_ALLOWED_H_
+
+#include "src/calculus/ast.h"
+#include "src/safety/em_allowed.h"
+
+namespace emcalc {
+
+// Function-free classical allowed.
+bool IsAllowedGT91(AstContext& ctx, const Formula* f);
+
+// AB88-style local range restriction.
+bool IsRangeRestricted(AstContext& ctx, const Formula* f);
+
+// Top91-style safe (reconstruction; see header comment).
+bool IsTop91Safe(AstContext& ctx, const Formula* f);
+
+}  // namespace emcalc
+
+#endif  // EMCALC_SAFETY_ALLOWED_H_

@@ -1,0 +1,88 @@
+#include "src/safety/em_allowed.h"
+
+#include "src/calculus/analysis.h"
+#include "src/calculus/printer.h"
+#include "src/safety/pushnot.h"
+
+namespace emcalc {
+
+SafetyResult EmAllowedChecker::CheckFormula(const Formula* f,
+                                            const SymbolSet& context) {
+  SafetyResult inner = CheckSubformulas(f);
+  if (!inner.em_allowed) return inner;
+  SymbolSet free = FreeVars(f);
+  SymbolSet targets = free.Minus(context);
+  if (!bound_.Bounds(f, context, targets)) {
+    AstContext& ctx = bound_.ctx();
+    return SafetyResult{
+        false, "free variables " + targets.ToString(ctx.symbols()) +
+                   " not bounded in " + FormulaToString(ctx, f) +
+                   " (bd = " +
+                   bound_.Bound(f).ToString(ctx.symbols()) + ")"};
+  }
+  return SafetyResult{true, ""};
+}
+
+SafetyResult EmAllowedChecker::CheckSubformulas(const Formula* f) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kRel:
+    case FormulaKind::kEq:
+    case FormulaKind::kNeq:
+    case FormulaKind::kLess:
+    case FormulaKind::kLessEq:
+      return SafetyResult{true, ""};
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      for (const Formula* c : f->children()) {
+        SafetyResult r = CheckSubformulas(c);
+        if (!r.em_allowed) return r;
+      }
+      return SafetyResult{true, ""};
+    }
+    case FormulaKind::kNot: {
+      const Formula* pushed = PushNotStep(bound_.ctx(), f);
+      if (pushed == f) return SafetyResult{true, ""};  // negated rel atom
+      return CheckSubformulas(pushed);
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      // forall Y (psi) is checked as its dual not exists Y (not psi).
+      const Formula* body = f->child();
+      if (f->kind() == FormulaKind::kForall) {
+        const Formula* negated = bound_.ctx().MakeNot(body);
+        const Formula* pushed = PushNotStep(bound_.ctx(), negated);
+        body = pushed;  // PushNotStep returns `negated` itself for rel atoms
+      }
+      SafetyResult r = CheckSubformulas(body);
+      if (!r.em_allowed) return r;
+      SymbolSet qvars(std::vector<Symbol>(f->vars().begin(), f->vars().end()));
+      SymbolSet subcontext = FreeVars(body).Minus(qvars);
+      if (!bound_.Bounds(body, subcontext, qvars)) {
+        AstContext& ctx = bound_.ctx();
+        return SafetyResult{
+            false, "quantified variables " + qvars.ToString(ctx.symbols()) +
+                       " not bounded in " + FormulaToString(ctx, f) +
+                       " (bd = " +
+                       bound_.Bound(body).ToString(ctx.symbols()) + ")"};
+      }
+      return SafetyResult{true, ""};
+    }
+  }
+  return SafetyResult{true, ""};
+}
+
+SafetyResult CheckEmAllowed(AstContext& ctx, const Query& q,
+                            BoundOptions options) {
+  EmAllowedChecker checker(ctx, options);
+  return checker.Check(q);
+}
+
+SafetyResult CheckEmAllowed(AstContext& ctx, const Formula* f,
+                            BoundOptions options) {
+  EmAllowedChecker checker(ctx, options);
+  return checker.CheckFormula(f, SymbolSet{});
+}
+
+}  // namespace emcalc

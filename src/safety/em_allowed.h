@@ -1,0 +1,69 @@
+// The em-allowed safety criterion (Section 6 of the paper), generalizing
+// "allowed" [Top87, GT91] to scalar functions.
+//
+// A formula phi is em-allowed for a context X (a set of externally bounded
+// variables — the paper's "em-allowed for X", used for queries embedded in
+// a host program whose variables are already bound) iff:
+//   (1) bd(phi), together with {} -> x for x in X, entails {} -> free(phi);
+//   (2) recursively, every quantified subformula binds bounded variables:
+//       for `exists Y (psi)`, bd(psi) |= (free(psi) \ Y) -> Y, i.e. the
+//       quantified variables are bounded relative to the subformula's
+//       context (reconstruction R2 in DESIGN.md, forced by the paper's
+//       example R(x) and exists y (f(x) = y and not R(y)));
+//       `forall Y (psi)` is checked as `not exists Y (not psi)`;
+//   (3) conditions (2) apply under negations in pushed (pushnot) form.
+//
+// Theorem 6.6 of the paper: em-allowed queries are embedded domain
+// independent at level ||phi|| - 1. Our pipeline demonstrates this
+// constructively by translating every em-allowed query to the algebra.
+#ifndef EMCALC_SAFETY_EM_ALLOWED_H_
+#define EMCALC_SAFETY_EM_ALLOWED_H_
+
+#include <string>
+
+#include "src/calculus/ast.h"
+#include "src/finds/bound.h"
+
+namespace emcalc {
+
+// Outcome of a safety check, with a human-readable reason on rejection.
+struct SafetyResult {
+  bool em_allowed = false;
+  std::string reason;  // empty iff em_allowed
+
+  explicit operator bool() const { return em_allowed; }
+};
+
+// Checks em-allowedness. One checker per AstContext; shares the bd cache
+// across checks.
+class EmAllowedChecker {
+ public:
+  explicit EmAllowedChecker(AstContext& ctx, BoundOptions options = {})
+      : bound_(ctx, options) {}
+
+  // Query form: context is empty, targets are the head variables.
+  SafetyResult Check(const Query& q) {
+    return CheckFormula(q.body, SymbolSet{});
+  }
+
+  // "em-allowed for X": `context` lists externally bounded variables.
+  SafetyResult CheckFormula(const Formula* f, const SymbolSet& context);
+
+  BoundAnalyzer& bound() { return bound_; }
+
+ private:
+  // Condition (2)/(3) recursion; does not include the top-level condition.
+  SafetyResult CheckSubformulas(const Formula* f);
+
+  BoundAnalyzer bound_;
+};
+
+// One-off convenience wrappers.
+SafetyResult CheckEmAllowed(AstContext& ctx, const Query& q,
+                            BoundOptions options = {});
+SafetyResult CheckEmAllowed(AstContext& ctx, const Formula* f,
+                            BoundOptions options = {});
+
+}  // namespace emcalc
+
+#endif  // EMCALC_SAFETY_EM_ALLOWED_H_

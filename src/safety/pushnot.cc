@@ -1,0 +1,102 @@
+#include "src/safety/pushnot.h"
+
+#include <vector>
+
+#include "src/base/check.h"
+#include "src/calculus/builder.h"
+
+namespace emcalc {
+
+const Formula* PushNotStep(AstContext& ctx, const Formula* f) {
+  EMCALC_CHECK(f->kind() == FormulaKind::kNot);
+  const Formula* g = f->child();
+  switch (g->kind()) {
+    case FormulaKind::kTrue:
+      return ctx.False();
+    case FormulaKind::kFalse:
+      return ctx.True();
+    case FormulaKind::kRel:
+      return f;  // negated finite-relation atom: nothing to push
+    case FormulaKind::kEq:
+      return ctx.MakeNeq(g->lhs(), g->rhs());
+    case FormulaKind::kNeq:
+      return ctx.MakeEq(g->lhs(), g->rhs());
+    case FormulaKind::kLess:
+      return ctx.MakeLessEq(g->rhs(), g->lhs());
+    case FormulaKind::kLessEq:
+      return ctx.MakeLess(g->rhs(), g->lhs());
+    case FormulaKind::kNot:
+      return g->child();
+    case FormulaKind::kAnd: {
+      std::vector<const Formula*> parts;
+      parts.reserve(g->children().size());
+      for (const Formula* c : g->children()) {
+        parts.push_back(builder::Not(ctx, c));
+      }
+      return builder::Or(ctx, std::move(parts));
+    }
+    case FormulaKind::kOr: {
+      std::vector<const Formula*> parts;
+      parts.reserve(g->children().size());
+      for (const Formula* c : g->children()) {
+        parts.push_back(builder::Not(ctx, c));
+      }
+      return builder::And(ctx, std::move(parts));
+    }
+    case FormulaKind::kExists: {
+      std::vector<Symbol> vars(g->vars().begin(), g->vars().end());
+      return builder::Forall(ctx, std::move(vars),
+                             builder::Not(ctx, g->child()));
+    }
+    case FormulaKind::kForall: {
+      std::vector<Symbol> vars(g->vars().begin(), g->vars().end());
+      return builder::Exists(ctx, std::move(vars),
+                             builder::Not(ctx, g->child()));
+    }
+  }
+  return f;
+}
+
+const Formula* NegationNormalForm(AstContext& ctx, const Formula* f) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kRel:
+    case FormulaKind::kEq:
+    case FormulaKind::kNeq:
+    case FormulaKind::kLess:
+    case FormulaKind::kLessEq:
+      return f;
+    case FormulaKind::kNot: {
+      const Formula* pushed = PushNotStep(ctx, f);
+      if (pushed == f) return f;  // negated relation atom
+      return NegationNormalForm(ctx, pushed);
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::vector<const Formula*> children;
+      bool changed = false;
+      for (const Formula* c : f->children()) {
+        const Formula* nc = NegationNormalForm(ctx, c);
+        changed |= (nc != c);
+        children.push_back(nc);
+      }
+      if (!changed) return f;
+      return f->kind() == FormulaKind::kAnd
+                 ? builder::And(ctx, std::move(children))
+                 : builder::Or(ctx, std::move(children));
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      const Formula* body = NegationNormalForm(ctx, f->child());
+      if (body == f->child()) return f;
+      std::vector<Symbol> vars(f->vars().begin(), f->vars().end());
+      return f->kind() == FormulaKind::kExists
+                 ? builder::Exists(ctx, std::move(vars), body)
+                 : builder::Forall(ctx, std::move(vars), body);
+    }
+  }
+  return f;
+}
+
+}  // namespace emcalc

@@ -1,0 +1,24 @@
+// The pushnot operator (Section 6 of the paper, following GT91): pushes a
+// negation one step toward the atoms. Note the paper's polarity convention:
+// not (t1 = t2) becomes the *negative* atom t1 != t2 and vice versa, and
+// negations of relation atoms stay put.
+#ifndef EMCALC_SAFETY_PUSHNOT_H_
+#define EMCALC_SAFETY_PUSHNOT_H_
+
+#include "src/calculus/ast.h"
+
+namespace emcalc {
+
+// One-step push of the outermost negation of `f` (which must be a kNot
+// node). Returns `f` itself when the child is a relation atom (nothing to
+// push). not not phi collapses to phi.
+const Formula* PushNotStep(AstContext& ctx, const Formula* f);
+
+// Full negation normal form: negations remain only directly on relation
+// atoms; equalities/inequalities swap kinds. Quantifiers flip under
+// negation (not exists -> forall not ...).
+const Formula* NegationNormalForm(AstContext& ctx, const Formula* f);
+
+}  // namespace emcalc
+
+#endif  // EMCALC_SAFETY_PUSHNOT_H_

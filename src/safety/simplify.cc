@@ -1,0 +1,118 @@
+#include "src/safety/simplify.h"
+
+#include <vector>
+
+#include "src/base/symbol_set.h"
+#include "src/calculus/analysis.h"
+#include "src/calculus/builder.h"
+
+namespace emcalc {
+
+const Formula* Simplify(AstContext& ctx, const Formula* f) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kRel:
+      return f;
+    case FormulaKind::kEq:
+      if (TermsEqual(f->lhs(), f->rhs())) return ctx.True();
+      return f;
+    case FormulaKind::kNeq:
+    case FormulaKind::kLess:
+      if (TermsEqual(f->lhs(), f->rhs())) return ctx.False();
+      return f;
+    case FormulaKind::kLessEq:
+      if (TermsEqual(f->lhs(), f->rhs())) return ctx.True();
+      return f;
+    case FormulaKind::kNot: {
+      const Formula* child = Simplify(ctx, f->child());
+      FormulaKind ck = child->kind();
+      if (child == f->child() && ck != FormulaKind::kNot &&
+          ck != FormulaKind::kTrue && ck != FormulaKind::kFalse) {
+        return f;  // already simplified: keep the node (structure sharing)
+      }
+      return builder::Not(ctx, child);
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::vector<const Formula*> children;
+      children.reserve(f->children().size());
+      bool changed = false;
+      for (const Formula* c : f->children()) {
+        const Formula* nc = Simplify(ctx, c);
+        changed |= (nc != c);
+        // A same-kind, kTrue, or kFalse child means the builder must fold.
+        changed |= nc->kind() == f->kind() ||
+                   nc->kind() == FormulaKind::kTrue ||
+                   nc->kind() == FormulaKind::kFalse;
+        children.push_back(nc);
+      }
+      if (!changed) return f;
+      return f->kind() == FormulaKind::kAnd
+                 ? builder::And(ctx, std::move(children))
+                 : builder::Or(ctx, std::move(children));
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      const Formula* body = Simplify(ctx, f->child());
+      SymbolSet free = FreeVars(body);
+      std::vector<Symbol> vars;
+      for (Symbol v : f->vars()) {
+        if (free.Contains(v)) vars.push_back(v);
+      }
+      if (body == f->child() && vars.size() == f->vars().size() &&
+          body->kind() != f->kind()) {
+        return f;
+      }
+      return f->kind() == FormulaKind::kExists
+                 ? builder::Exists(ctx, std::move(vars), body)
+                 : builder::Forall(ctx, std::move(vars), body);
+    }
+  }
+  return f;
+}
+
+bool IsSimplified(const Formula* f) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kRel:
+      return true;
+    case FormulaKind::kEq:
+    case FormulaKind::kNeq:
+    case FormulaKind::kLess:
+    case FormulaKind::kLessEq:
+      return !TermsEqual(f->lhs(), f->rhs());
+    case FormulaKind::kNot: {
+      FormulaKind ck = f->child()->kind();
+      if (ck == FormulaKind::kNot || ck == FormulaKind::kTrue ||
+          ck == FormulaKind::kFalse) {
+        return false;
+      }
+      return IsSimplified(f->child());
+    }
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      for (const Formula* c : f->children()) {
+        if (c->kind() == f->kind() || c->kind() == FormulaKind::kTrue ||
+            c->kind() == FormulaKind::kFalse) {
+          return false;
+        }
+        if (!IsSimplified(c)) return false;
+      }
+      return true;
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      if (f->child()->kind() == f->kind()) return false;
+      SymbolSet free = FreeVars(f->child());
+      for (Symbol v : f->vars()) {
+        if (!free.Contains(v)) return false;
+      }
+      return IsSimplified(f->child());
+    }
+  }
+  return true;
+}
+
+}  // namespace emcalc

@@ -1,0 +1,28 @@
+// The "simplified form" used by the translation (the T1–T9 family of GT91
+// as generalized by the paper): constant folding, flattening of nested
+// conjunctions/disjunctions, double-negation elimination, coalescing and
+// pruning of quantifiers, and folding of syntactically trivial
+// (in)equalities. All rewrites preserve embedded semantics.
+#ifndef EMCALC_SAFETY_SIMPLIFY_H_
+#define EMCALC_SAFETY_SIMPLIFY_H_
+
+#include "src/calculus/ast.h"
+
+namespace emcalc {
+
+// Bottom-up simplification; idempotent. Guarantees on the result:
+//  - no kTrue/kFalse below the root,
+//  - kAnd/kOr children are neither kTrue/kFalse nor same-kind juncts,
+//  - no kNot directly over kNot/kTrue/kFalse,
+//  - no quantifier binding a variable that is not free in its body,
+//  - adjacent same-kind quantifiers are merged,
+//  - no t = t or t != t atoms for syntactically identical t.
+const Formula* Simplify(AstContext& ctx, const Formula* f);
+
+// True if `f` satisfies the guarantees above (used by tests and by the ENF
+// pass to assert its precondition).
+bool IsSimplified(const Formula* f);
+
+}  // namespace emcalc
+
+#endif  // EMCALC_SAFETY_SIMPLIFY_H_

@@ -1,0 +1,116 @@
+#include "src/storage/adom.h"
+
+#include <algorithm>
+
+#include "src/calculus/analysis.h"
+
+namespace emcalc {
+
+void NormalizeValueSet(ValueSet& values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+}
+
+ValueSet ActiveDomain(const Database& db) {
+  ValueSet out;
+  for (const auto& [name, rel] : db.relations()) {
+    for (const Tuple& t : rel) {
+      out.insert(out.end(), t.begin(), t.end());
+    }
+  }
+  NormalizeValueSet(out);
+  return out;
+}
+
+ValueSet QueryConstants(const AstContext& ctx, const Formula* f) {
+  ValueSet out;
+  for (uint32_t id : CollectConstants(f)) {
+    out.push_back(ctx.ConstantAt(id));
+  }
+  NormalizeValueSet(out);
+  return out;
+}
+
+ValueSet ActiveDomain(const AstContext& ctx, const Formula* f,
+                      const Database& db) {
+  ValueSet out = ActiveDomain(db);
+  ValueSet consts = QueryConstants(ctx, f);
+  out.insert(out.end(), consts.begin(), consts.end());
+  NormalizeValueSet(out);
+  return out;
+}
+
+StatusOr<ValueSet> TermClosure(
+    ValueSet base, const std::vector<std::pair<std::string, int>>& fns,
+    const FunctionRegistry& registry, int level, size_t max_size) {
+  NormalizeValueSet(base);
+
+  // Resolve all functions up front.
+  std::vector<const ScalarFunction*> resolved;
+  for (const auto& [name, arity] : fns) {
+    auto f = registry.Get(name, arity);
+    if (!f.ok()) return f.status();
+    resolved.push_back(*f);
+  }
+
+  ValueSet frontier = base;  // values new in the previous round
+  for (int round = 0; round < level; ++round) {
+    if (frontier.empty()) break;
+    ValueSet fresh;
+    for (const ScalarFunction* fn : resolved) {
+      // Enumerate argument tuples with at least one frontier component
+      // (tuples entirely over older values were already applied).
+      std::vector<Value> args(fn->arity);
+      // For simplicity enumerate over base^arity and skip all-old tuples;
+      // `base` here is the closure so far.
+      std::vector<const ValueSet*> domains(fn->arity, &base);
+      std::vector<size_t> cursor(fn->arity, 0);
+      bool done = fn->arity > 0 && base.empty();
+      while (!done) {
+        bool touches_frontier = round == 0;
+        for (int i = 0; i < fn->arity; ++i) {
+          args[i] = (*domains[i])[cursor[i]];
+          if (!touches_frontier &&
+              std::binary_search(frontier.begin(), frontier.end(), args[i])) {
+            touches_frontier = true;
+          }
+        }
+        if (touches_frontier) {
+          Value v = fn->fn(args);
+          if (!std::binary_search(base.begin(), base.end(), v)) {
+            fresh.push_back(v);
+          }
+        }
+        // Advance the mixed-radix cursor.
+        int pos = fn->arity - 1;
+        for (; pos >= 0; --pos) {
+          if (++cursor[pos] < domains[pos]->size()) break;
+          cursor[pos] = 0;
+        }
+        if (pos < 0) done = true;
+        if (fn->arity == 0) done = true;
+      }
+      if (fn->arity == 0) {
+        Value v = fn->fn({});
+        if (!std::binary_search(base.begin(), base.end(), v)) {
+          fresh.push_back(v);
+        }
+      }
+    }
+    NormalizeValueSet(fresh);
+    ValueSet next;
+    next.reserve(base.size() + fresh.size());
+    std::set_union(base.begin(), base.end(), fresh.begin(), fresh.end(),
+                   std::back_inserter(next));
+    if (next.size() > max_size) {
+      return UnsupportedError(
+          "term closure exceeded budget of " + std::to_string(max_size) +
+          " values at level " + std::to_string(round + 1));
+    }
+    frontier = std::move(fresh);
+    base = std::move(next);
+  }
+  return base;
+}
+
+}  // namespace emcalc

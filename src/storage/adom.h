@@ -1,0 +1,48 @@
+// Active domains and the term closure term^k(C) (Section 4 of the paper).
+//
+// adom(q, I) is the set of values occurring in the instance I or as
+// constants of the query q. term^k(C) closes C under k rounds of
+// application of the query's scalar functions — functions only, never
+// inverses; these are the "neighborhoods" that embedded domain independence
+// quantifies over (specialized k-closures of the DB-windows of [BM92a]).
+#ifndef EMCALC_STORAGE_ADOM_H_
+#define EMCALC_STORAGE_ADOM_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/calculus/ast.h"
+#include "src/storage/database.h"
+#include "src/storage/interpretation.h"
+
+namespace emcalc {
+
+// A sorted duplicate-free set of domain values.
+using ValueSet = std::vector<Value>;
+
+// Sorts + dedupes in place.
+void NormalizeValueSet(ValueSet& values);
+
+// All values occurring in any relation of `db`.
+ValueSet ActiveDomain(const Database& db);
+
+// The constants of `f`, as values.
+ValueSet QueryConstants(const AstContext& ctx, const Formula* f);
+
+// adom(q, I): instance values plus query constants.
+ValueSet ActiveDomain(const AstContext& ctx, const Formula* f,
+                      const Database& db);
+
+// term^level(base) under the functions `fns` (name/arity pairs, resolved in
+// `registry`). Fails with kUnsupported when the closure would exceed
+// `max_size` values (arity-2 functions grow the closure quadratically per
+// level; callers choose their budget).
+StatusOr<ValueSet> TermClosure(
+    ValueSet base, const std::vector<std::pair<std::string, int>>& fns,
+    const FunctionRegistry& registry, int level, size_t max_size);
+
+}  // namespace emcalc
+
+#endif  // EMCALC_STORAGE_ADOM_H_

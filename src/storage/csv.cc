@@ -1,0 +1,96 @@
+#include "src/storage/csv.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace emcalc {
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+// int when the whole trimmed field is an optionally-signed integer;
+// quoted or anything else -> string.
+Value ParseField(const std::string& raw) {
+  std::string field = Trim(raw);
+  if (field.size() >= 2 && field.front() == '\'' && field.back() == '\'') {
+    return Value::Str(field.substr(1, field.size() - 2));
+  }
+  if (!field.empty()) {
+    char* end = nullptr;
+    long long v = std::strtoll(field.c_str(), &end, 10);
+    if (end != nullptr && *end == '\0' && end != field.c_str() &&
+        !(field.size() == 1 && field[0] == '-')) {
+      return Value::Int(v);
+    }
+  }
+  return Value::Str(field);
+}
+
+}  // namespace
+
+Status LoadCsv(Database& db, const std::string& name, std::istream& in) {
+  std::string line;
+  int line_no = 0;
+  int arity = -1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    Tuple tuple;
+    std::string field;
+    std::stringstream row(trimmed);
+    while (std::getline(row, field, ',')) {
+      tuple.push_back(ParseField(field));
+    }
+    if (arity == -1) {
+      arity = static_cast<int>(tuple.size());
+      if (Status s = db.AddRelation(name, arity); !s.ok()) return s;
+    } else if (static_cast<int>(tuple.size()) != arity) {
+      return InvalidArgumentError(
+          "line " + std::to_string(line_no) + ": expected " +
+          std::to_string(arity) + " fields, got " +
+          std::to_string(tuple.size()));
+    }
+    if (Status s = db.Insert(name, std::move(tuple)); !s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status LoadCsvText(Database& db, const std::string& name,
+                   const std::string& text) {
+  std::istringstream in(text);
+  return LoadCsv(db, name, in);
+}
+
+Status LoadCsvFile(Database& db, const std::string& name,
+                   const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError("cannot open '" + path + "'");
+  return LoadCsv(db, name, in);
+}
+
+void WriteCsv(const Relation& rel, std::ostream& out) {
+  for (const Tuple& t : rel) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) out << ",";
+      out << t[i].ToString();
+    }
+    out << "\n";
+  }
+}
+
+std::string WriteCsvText(const Relation& rel) {
+  std::ostringstream out;
+  WriteCsv(rel, out);
+  return out.str();
+}
+
+}  // namespace emcalc

@@ -1,0 +1,49 @@
+#include "src/storage/database.h"
+
+namespace emcalc {
+
+Status Database::AddRelation(const std::string& name, int arity) {
+  auto it = relations_.find(name);
+  if (it != relations_.end()) {
+    if (it->second.arity() != arity) {
+      return InvalidArgumentError("relation '" + name +
+                                  "' already exists with arity " +
+                                  std::to_string(it->second.arity()));
+    }
+    return Status::Ok();
+  }
+  relations_.emplace(name, Relation(arity));
+  return Status::Ok();
+}
+
+Status Database::Insert(const std::string& name, Tuple t) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    it = relations_.emplace(name, Relation(static_cast<int>(t.size()))).first;
+  }
+  if (it->second.arity() != static_cast<int>(t.size())) {
+    return InvalidArgumentError("tuple arity " + std::to_string(t.size()) +
+                                " does not match relation '" + name + "'");
+  }
+  it->second.Insert(std::move(t));
+  return Status::Ok();
+}
+
+const Relation* Database::Find(const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+StatusOr<const Relation*> Database::Get(const std::string& name) const {
+  const Relation* r = Find(name);
+  if (r == nullptr) return NotFoundError("unknown relation '" + name + "'");
+  return r;
+}
+
+size_t Database::TotalTuples() const {
+  size_t n = 0;
+  for (const auto& [name, rel] : relations_) n += rel.size();
+  return n;
+}
+
+}  // namespace emcalc

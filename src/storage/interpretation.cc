@@ -1,0 +1,98 @@
+#include "src/storage/interpretation.h"
+
+#include <algorithm>
+
+namespace emcalc {
+
+void FunctionRegistry::Register(
+    const std::string& name, int arity,
+    std::function<Value(std::span<const Value>)> fn) {
+  functions_[name] = ScalarFunction{arity, std::move(fn)};
+}
+
+const ScalarFunction* FunctionRegistry::Find(const std::string& name) const {
+  auto it = functions_.find(name);
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+StatusOr<const ScalarFunction*> FunctionRegistry::Get(const std::string& name,
+                                                      int arity) const {
+  const ScalarFunction* f = Find(name);
+  if (f == nullptr) {
+    return NotFoundError("unknown scalar function '" + name + "'");
+  }
+  if (f->arity != arity) {
+    return InvalidArgumentError("function '" + name + "' has arity " +
+                                std::to_string(f->arity) + ", called with " +
+                                std::to_string(arity));
+  }
+  return f;
+}
+
+namespace {
+
+// Totality coercion: numeric view of any Value (strings map to length).
+int64_t AsNum(const Value& v) {
+  return v.is_int() ? v.AsInt() : static_cast<int64_t>(v.AsStr().size());
+}
+
+// String view of any Value (ints render as digits).
+std::string AsText(const Value& v) {
+  return v.is_int() ? std::to_string(v.AsInt()) : v.AsStr();
+}
+
+}  // namespace
+
+FunctionRegistry BuiltinFunctions() {
+  FunctionRegistry reg;
+  auto unary = [&reg](const std::string& name, auto op) {
+    reg.Register(name, 1, [op](std::span<const Value> a) { return op(a[0]); });
+  };
+  auto binary = [&reg](const std::string& name, auto op) {
+    reg.Register(name, 2,
+                 [op](std::span<const Value> a) { return op(a[0], a[1]); });
+  };
+
+  unary("succ", [](const Value& v) { return Value::Int(AsNum(v) + 1); });
+  unary("pred", [](const Value& v) { return Value::Int(AsNum(v) - 1); });
+  unary("double", [](const Value& v) { return Value::Int(AsNum(v) * 2); });
+  unary("half", [](const Value& v) { return Value::Int(AsNum(v) / 2); });
+  unary("abs", [](const Value& v) {
+    int64_t n = AsNum(v);
+    return Value::Int(n < 0 ? -n : n);
+  });
+  unary("neg", [](const Value& v) { return Value::Int(-AsNum(v)); });
+  unary("len", [](const Value& v) { return Value::Int(AsNum(v)); });
+  unary("first_char", [](const Value& v) {
+    std::string s = AsText(v);
+    return Value::Str(s.empty() ? "" : s.substr(0, 1));
+  });
+
+  binary("plus", [](const Value& a, const Value& b) {
+    return Value::Int(AsNum(a) + AsNum(b));
+  });
+  binary("minus", [](const Value& a, const Value& b) {
+    return Value::Int(AsNum(a) - AsNum(b));
+  });
+  binary("times", [](const Value& a, const Value& b) {
+    return Value::Int(AsNum(a) * AsNum(b));
+  });
+  binary("min2", [](const Value& a, const Value& b) {
+    return Value::Int(std::min(AsNum(a), AsNum(b)));
+  });
+  binary("max2", [](const Value& a, const Value& b) {
+    return Value::Int(std::max(AsNum(a), AsNum(b)));
+  });
+  binary("concat", [](const Value& a, const Value& b) {
+    return Value::Str(AsText(a) + AsText(b));
+  });
+  binary("mix", [](const Value& a, const Value& b) {
+    uint64_t x = static_cast<uint64_t>(AsNum(a)) * 0x9e3779b97f4a7c15ULL +
+                 static_cast<uint64_t>(AsNum(b));
+    x ^= x >> 29;
+    return Value::Int(static_cast<int64_t>(x & 0x7fffffff));
+  });
+  return reg;
+}
+
+}  // namespace emcalc

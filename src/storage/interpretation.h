@@ -1,0 +1,62 @@
+// Scalar-function interpretations. The paper assumes an interpretation F
+// assigning to each function symbol a *total* function dom^n -> dom; query
+// answers are defined relative to (I, F). This module provides the function
+// registry and a built-in library of total functions over our mixed
+// int/string domain.
+#ifndef EMCALC_STORAGE_INTERPRETATION_H_
+#define EMCALC_STORAGE_INTERPRETATION_H_
+
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/base/value.h"
+
+namespace emcalc {
+
+// A total scalar function of fixed arity.
+struct ScalarFunction {
+  int arity = 0;
+  std::function<Value(std::span<const Value>)> fn;
+};
+
+// Maps function names to implementations. Keyed by name strings so a
+// registry is independent of any AstContext.
+class FunctionRegistry {
+ public:
+  FunctionRegistry() = default;
+
+  // Registers (or replaces) `name`.
+  void Register(const std::string& name, int arity,
+                std::function<Value(std::span<const Value>)> fn);
+
+  // Lookup; nullptr when absent.
+  const ScalarFunction* Find(const std::string& name) const;
+
+  // Lookup that checks existence and arity.
+  StatusOr<const ScalarFunction*> Get(const std::string& name,
+                                      int arity) const;
+
+  const std::map<std::string, ScalarFunction>& functions() const {
+    return functions_;
+  }
+
+ private:
+  std::map<std::string, ScalarFunction> functions_;
+};
+
+// A registry preloaded with total builtins. Functions must be total on the
+// whole mixed domain; string arguments to numeric functions are coerced to
+// their length (documented convention, keeps every builtin total):
+//   succ/1, pred/1, double/1, half/1, abs/1, neg/1,
+//   plus/2, minus/2, times/2, min2/2, max2/2,
+//   len/1 (string length; ints pass through),
+//   concat/2 (string concatenation; ints are rendered as digits),
+//   first_char/1, mix/2 (a cheap injective-ish hash combiner).
+FunctionRegistry BuiltinFunctions();
+
+}  // namespace emcalc
+
+#endif  // EMCALC_STORAGE_INTERPRETATION_H_

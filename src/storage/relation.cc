@@ -1,0 +1,69 @@
+#include "src/storage/relation.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace emcalc {
+
+void Relation::Insert(Tuple t) {
+  EMCALC_CHECK_MSG(static_cast<int>(t.size()) == arity_,
+                   "tuple arity %zu != relation arity %d", t.size(), arity_);
+  tuples_.push_back(std::move(t));
+  dirty_ = true;
+}
+
+void Relation::Normalize() const {
+  if (!dirty_) return;
+  std::sort(tuples_.begin(), tuples_.end());
+  tuples_.erase(std::unique(tuples_.begin(), tuples_.end()), tuples_.end());
+  dirty_ = false;
+}
+
+bool Relation::Contains(const Tuple& t) const {
+  Normalize();
+  return std::binary_search(tuples_.begin(), tuples_.end(), t);
+}
+
+Relation Relation::UnionWith(const Relation& other) const {
+  EMCALC_CHECK(arity_ == other.arity_);
+  Normalize();
+  other.Normalize();
+  Relation out(arity_);
+  std::set_union(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
+                 other.tuples_.end(), std::back_inserter(out.tuples_));
+  return out;
+}
+
+Relation Relation::DifferenceWith(const Relation& other) const {
+  EMCALC_CHECK(arity_ == other.arity_);
+  Normalize();
+  other.Normalize();
+  Relation out(arity_);
+  std::set_difference(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
+                      other.tuples_.end(), std::back_inserter(out.tuples_));
+  return out;
+}
+
+bool operator==(const Relation& a, const Relation& b) {
+  if (a.arity_ != b.arity_) return false;
+  a.Normalize();
+  b.Normalize();
+  return a.tuples_ == b.tuples_;
+}
+
+std::string Relation::ToString() const {
+  Normalize();
+  std::string out;
+  for (const Tuple& t : tuples_) {
+    out += "(";
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += t[i].ToString();
+    }
+    out += ")\n";
+  }
+  return out;
+}
+
+}  // namespace emcalc

@@ -1,0 +1,71 @@
+// Finite relation instances with set semantics. Tuples are kept as a
+// sorted, duplicate-free vector, which makes evaluation deterministic and
+// set operations (union/difference/comparison) cheap.
+#ifndef EMCALC_STORAGE_RELATION_H_
+#define EMCALC_STORAGE_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/value.h"
+
+namespace emcalc {
+
+// A database tuple.
+using Tuple = std::vector<Value>;
+
+// A finite relation of fixed arity. Arity 0 is legal: such a relation is
+// either empty ("false") or contains the single empty tuple ("true").
+class Relation {
+ public:
+  explicit Relation(int arity) : arity_(arity) {}
+
+  int arity() const { return arity_; }
+  size_t size() const {
+    Normalize();
+    return tuples_.size();
+  }
+  bool empty() const {
+    Normalize();
+    return tuples_.empty();
+  }
+  const std::vector<Tuple>& tuples() const {
+    Normalize();
+    return tuples_;
+  }
+  auto begin() const {
+    Normalize();
+    return tuples_.begin();
+  }
+  auto end() const {
+    Normalize();
+    return tuples_.end();
+  }
+
+  // Inserts a tuple; aborts on arity mismatch. Amortized: tuples are
+  // appended and normalized lazily on first read.
+  void Insert(Tuple t);
+
+  // Membership test.
+  bool Contains(const Tuple& t) const;
+
+  // Set algebra; arities must match.
+  Relation UnionWith(const Relation& other) const;
+  Relation DifferenceWith(const Relation& other) const;
+
+  friend bool operator==(const Relation& a, const Relation& b);
+
+  // Multi-line "(1, 'a')\n(2, 'b')" rendering, for tests and examples.
+  std::string ToString() const;
+
+ private:
+  void Normalize() const;
+
+  int arity_;
+  mutable bool dirty_ = false;
+  mutable std::vector<Tuple> tuples_;
+};
+
+}  // namespace emcalc
+
+#endif  // EMCALC_STORAGE_RELATION_H_

@@ -1,0 +1,38 @@
+// The active-domain baseline translation in the style of [AB88] / [BM92a]
+// (Section 2 of the paper). Every variable ranges over the unary relation
+// adom^k = term^k(adom(q, I)); subformulas translate compositionally into
+// products with adom^k, selections, joins on shared variables, unions, and
+// differences against adom^k-cubes.
+//
+// This computes the correct embedded semantics for *any* query once k is
+// large enough (k = CountApplications is always sufficient), em-allowed or
+// not — but at the cost the paper criticizes: e.g. it translates
+// {x,y,z | R(x,y,z) and not S(y,z)} through an adom construction where the
+// direct translation produces R - project(..., join(..., R, S)).
+// Experiment E2 measures the difference.
+#ifndef EMCALC_TRANSLATE_ACTIVE_DOMAIN_H_
+#define EMCALC_TRANSLATE_ACTIVE_DOMAIN_H_
+
+#include "src/algebra/ast.h"
+#include "src/base/status.h"
+#include "src/calculus/ast.h"
+
+namespace emcalc {
+
+// Baseline-translation knobs.
+struct ActiveDomainOptions {
+  // Closure level for the adom relation; -1 = CountApplications(body).
+  int level = -1;
+  // Run the plan simplifier on the result.
+  bool optimize = true;
+};
+
+// Translates `q` into a plan built over adom^k. Requires only
+// well-formedness, not em-allowedness (answers for non-em-DI queries are
+// the level-k embedded semantics).
+StatusOr<const AlgExpr*> TranslateActiveDomain(
+    AstContext& ctx, const Query& q, const ActiveDomainOptions& options = {});
+
+}  // namespace emcalc
+
+#endif  // EMCALC_TRANSLATE_ACTIVE_DOMAIN_H_

@@ -1,0 +1,94 @@
+#include "src/translate/distribute.h"
+
+#include <vector>
+
+#include "src/calculus/builder.h"
+
+namespace emcalc {
+namespace {
+
+const Formula* Distribute(AstContext& ctx, const Formula* f) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kRel:
+    case FormulaKind::kEq:
+    case FormulaKind::kNeq:
+    case FormulaKind::kLess:
+    case FormulaKind::kLessEq:
+      return f;
+    case FormulaKind::kNot:
+      // Negations are difference-translated as a unit; leave their insides
+      // alone (distributing under a negation would not reduce the work the
+      // difference performs).
+      return f;
+    case FormulaKind::kOr: {
+      std::vector<const Formula*> children;
+      for (const Formula* c : f->children()) {
+        children.push_back(Distribute(ctx, c));
+      }
+      return builder::Or(ctx, std::move(children));
+    }
+    case FormulaKind::kAnd: {
+      // Distribute children first, then cross-multiply: the conjunction of
+      // k disjunctions with n_i branches becomes one disjunction with
+      // prod(n_i) conjunctive branches.
+      std::vector<std::vector<const Formula*>> branch_sets;
+      size_t total = 1;
+      for (const Formula* c : f->children()) {
+        const Formula* d = Distribute(ctx, c);
+        if (d->kind() == FormulaKind::kOr) {
+          branch_sets.emplace_back(d->children().begin(),
+                                   d->children().end());
+        } else {
+          branch_sets.push_back({d});
+        }
+        total *= branch_sets.back().size();
+      }
+      if (total == 1) {
+        std::vector<const Formula*> flat;
+        for (const auto& set : branch_sets) flat.push_back(set[0]);
+        return builder::And(ctx, std::move(flat));
+      }
+      std::vector<const Formula*> disjuncts;
+      std::vector<size_t> cursor(branch_sets.size(), 0);
+      for (;;) {
+        std::vector<const Formula*> conj;
+        for (size_t i = 0; i < branch_sets.size(); ++i) {
+          conj.push_back(branch_sets[i][cursor[i]]);
+        }
+        disjuncts.push_back(builder::And(ctx, std::move(conj)));
+        int pos = static_cast<int>(branch_sets.size()) - 1;
+        for (; pos >= 0; --pos) {
+          if (++cursor[pos] < branch_sets[pos].size()) break;
+          cursor[pos] = 0;
+        }
+        if (pos < 0) break;
+      }
+      return builder::Or(ctx, std::move(disjuncts));
+    }
+    case FormulaKind::kExists: {
+      const Formula* body = Distribute(ctx, f->child());
+      std::vector<Symbol> vars(f->vars().begin(), f->vars().end());
+      if (body->kind() != FormulaKind::kOr) {
+        return builder::Exists(ctx, std::move(vars), body);
+      }
+      std::vector<const Formula*> disjuncts;
+      for (const Formula* d : body->children()) {
+        disjuncts.push_back(builder::Exists(ctx, vars, d));
+      }
+      return builder::Or(ctx, std::move(disjuncts));
+    }
+    case FormulaKind::kForall:
+      return f;  // ENF has removed these
+  }
+  return f;
+}
+
+}  // namespace
+
+const Formula* DistributeDisjunctions(AstContext& ctx, const Formula* f) {
+  return Distribute(ctx, f);
+}
+
+}  // namespace emcalc

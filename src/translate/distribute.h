@@ -1,0 +1,28 @@
+// Literal T13/T14 distribution (GT91's syntactic strategy): pull
+// disjunctions out of conjunctions and push existentials into disjuncts,
+//
+//   C and (a or b)   ->  (C and a) or (C and b)          (T13)
+//   exists X (a or b) -> exists X (a) or exists X (b)    (T14 companion)
+//
+// until no disjunction sits under a conjunction or quantifier. The default
+// pipeline instead *threads* the context plan into disjunction branches,
+// which is semantically equivalent but shares the context subplan; this
+// pass exists to measure that trade-off (experiment E10) and to mirror the
+// paper's presentation, where T13 duplicates the bounding conjuncts into
+// each branch.
+#ifndef EMCALC_TRANSLATE_DISTRIBUTE_H_
+#define EMCALC_TRANSLATE_DISTRIBUTE_H_
+
+#include "src/calculus/ast.h"
+
+namespace emcalc {
+
+// Distributes disjunctions upward through conjunctions and existentials.
+// Input should be in ENF; the result is equivalent under embedded
+// semantics. Worst case is exponential in the number of nested
+// disjunctions (the cost T13 pays and context-threading avoids).
+const Formula* DistributeDisjunctions(AstContext& ctx, const Formula* f);
+
+}  // namespace emcalc
+
+#endif  // EMCALC_TRANSLATE_DISTRIBUTE_H_

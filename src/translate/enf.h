@@ -1,0 +1,44 @@
+// Steps (1) and (2) of the translation (Section 7 of the paper):
+// universal-quantifier elimination and transformation into Existential
+// Normal Form (ENF).
+//
+// ENF guarantees: the formula is simplified (see safety/simplify.h),
+// contains no kForall, and every negation sits over a relation atom, an
+// existential quantifier, or a conjunction that the difference operator can
+// handle. Negations over disjunctions are always pushed inward (the GT91
+// moves); negations over conjunctions are pushed *only when pushing exposes
+// bounding information* — that is transformation T10, the move absent from
+// GT91 that the paper introduces so that queries like q4 (whose only
+// bounding for y hides inside negated inequality atoms: not (f(x) != y and
+// g(x) != y) == (f(x) = y or g(x) = y)) become translatable. With
+// enable_t10 = false the pass reproduces GT91's behavior, and the pipeline
+// fails on exactly those queries (experiment E6).
+#ifndef EMCALC_TRANSLATE_ENF_H_
+#define EMCALC_TRANSLATE_ENF_H_
+
+#include "src/calculus/ast.h"
+#include "src/finds/bound.h"
+
+namespace emcalc {
+
+// Options for the ENF pass.
+struct EnfOptions {
+  bool enable_t10 = true;
+  BoundOptions bound;
+};
+
+// Rewrites `f` into ENF. Assumes nothing; internally rectifies and
+// simplifies. Equivalence is preserved under embedded semantics.
+const Formula* ToEnf(AstContext& ctx, const Formula* f,
+                     const EnfOptions& options = {});
+
+// Structural ENF predicate: simplified, forall-free, and negations only
+// over relation atoms, existentials, or conjunctions.
+bool IsEnf(const Formula* f);
+
+// Replaces every forall X (psi) with not exists X (not psi) (step 1).
+const Formula* EliminateForall(AstContext& ctx, const Formula* f);
+
+}  // namespace emcalc
+
+#endif  // EMCALC_TRANSLATE_ENF_H_

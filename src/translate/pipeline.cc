@@ -1,0 +1,64 @@
+#include "src/translate/pipeline.h"
+
+#include "src/algebra/optimizer.h"
+#include "src/calculus/rewrite.h"
+#include "src/calculus/analysis.h"
+#include "src/translate/algebra_gen.h"
+#include "src/translate/distribute.h"
+#include "src/translate/ranf.h"
+
+namespace emcalc {
+
+StatusOr<Translation> TranslateQuery(AstContext& ctx, const Query& q,
+                                     const TranslateOptions& options) {
+  // Shadowed quantifiers are legal calculus; rename them apart so the
+  // remaining passes (and the well-formedness check) can assume distinct
+  // bound variables.
+  Query query = q;
+  query.body = Rectify(ctx, q.body);
+  if (Status s = CheckWellFormed(query, ctx.symbols()); !s.ok()) return s;
+
+  // Effective bd options: fold declared inverses into the FinD analysis.
+  BoundOptions bound = options.bound;
+  for (const auto& [fn, inv] : options.inverse_fns) {
+    bound.invertible_fns.Insert(fn);
+  }
+
+  Translation out;
+  if (options.check_safety) {
+    out.safety = CheckEmAllowed(ctx, query, bound);
+    if (!out.safety.em_allowed) {
+      return NotSafeError("query is not em-allowed: " + out.safety.reason);
+    }
+  } else {
+    out.safety = SafetyResult{true, "(safety check skipped)"};
+  }
+
+  EnfOptions enf_options;
+  enf_options.enable_t10 = options.enable_t10;
+  enf_options.bound = bound;
+  out.enf = ToEnf(ctx, query.body, enf_options);
+
+  const Formula* pre_ranf = out.enf;
+  if (options.distribute_disjunctions) {
+    pre_ranf = DistributeDisjunctions(ctx, pre_ranf);
+  }
+  auto ranf = ToRanf(ctx, pre_ranf, SymbolSet{}, bound.invertible_fns);
+  if (!ranf.ok()) return ranf.status();
+  out.ranf = *ranf;
+
+  AlgebraGenerator generator(ctx, options.inverse_fns);
+  auto plan = generator.Translate(out.ranf, query.head);
+  if (!plan.ok()) return plan.status();
+  out.raw_plan = *plan;
+
+  if (options.optimize) {
+    AlgebraFactory factory(ctx);
+    out.plan = OptimizePlan(factory, out.raw_plan);
+  } else {
+    out.plan = out.raw_plan;
+  }
+  return out;
+}
+
+}  // namespace emcalc

@@ -1,0 +1,228 @@
+#include "src/translate/ranf.h"
+
+#include <vector>
+
+#include "src/calculus/analysis.h"
+#include "src/calculus/builder.h"
+#include "src/calculus/printer.h"
+
+namespace emcalc {
+namespace {
+
+// True if `t` is an application of an invertible function to a single
+// bare variable (the shape the inverse rules support).
+bool InvertibleApp(const Term* t, const SymbolSet& invertible) {
+  return t->is_apply() && invertible.Contains(t->symbol()) &&
+         t->args().size() == 1 && t->args()[0]->is_var();
+}
+
+// Constructive-atom checks (see header).
+bool AtomOk(const Formula* f, const SymbolSet& x,
+            const SymbolSet& invertible) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+      return true;
+    case FormulaKind::kRel: {
+      // A non-variable argument may use the outer context *or* variables
+      // the atom itself binds through its bare-variable positions (the
+      // full T16 condition): join conditions can reference the scanned
+      // relation's own columns.
+      SymbolSet self_bound = x.Union(DirectVars(f->terms()));
+      for (const Term* t : f->terms()) {
+        if (t->is_var()) continue;
+        if (!TermVars(t).IsSubsetOf(self_bound)) return false;
+      }
+      return true;
+    }
+    case FormulaKind::kEq: {
+      bool l_over = TermVars(f->lhs()).IsSubsetOf(x);
+      bool r_over = TermVars(f->rhs()).IsSubsetOf(x);
+      bool l_ok = l_over || f->lhs()->is_var() ||
+                  (r_over && InvertibleApp(f->lhs(), invertible));
+      bool r_ok = r_over || f->rhs()->is_var() ||
+                  (l_over && InvertibleApp(f->rhs(), invertible));
+      return l_ok && r_ok && (l_over || r_over);
+    }
+    case FormulaKind::kNeq:
+    case FormulaKind::kLess:
+    case FormulaKind::kLessEq:
+      return TermVars(f->lhs()).IsSubsetOf(x) &&
+             TermVars(f->rhs()).IsSubsetOf(x);
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool IsRanf(const Formula* f, const SymbolSet& x,
+            const SymbolSet& invertible) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kRel:
+    case FormulaKind::kEq:
+    case FormulaKind::kNeq:
+    case FormulaKind::kLess:
+    case FormulaKind::kLessEq:
+      return AtomOk(f, x, invertible);
+    case FormulaKind::kNot:
+      return FreeVars(f->child()).IsSubsetOf(x) &&
+             IsRanf(f->child(), x, invertible);
+    case FormulaKind::kAnd: {
+      SymbolSet avail = x;
+      for (const Formula* c : f->children()) {
+        if (!IsRanf(c, avail, invertible)) return false;
+        avail = avail.Union(FreeVars(c));
+      }
+      return true;
+    }
+    case FormulaKind::kOr: {
+      SymbolSet expected = FreeVars(f->children()[0]).Minus(x);
+      for (const Formula* c : f->children()) {
+        if (!IsRanf(c, x, invertible)) return false;
+        if (FreeVars(c).Minus(x) != expected) return false;
+      }
+      return true;
+    }
+    case FormulaKind::kExists:
+      return IsRanf(f->child(), x, invertible);
+    case FormulaKind::kForall:
+      return false;
+  }
+  return false;
+}
+
+StatusOr<const Formula*> ToRanf(AstContext& ctx, const Formula* f,
+                                const SymbolSet& x,
+                                const SymbolSet& invertible) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kRel:
+    case FormulaKind::kEq:
+    case FormulaKind::kNeq:
+    case FormulaKind::kLess:
+    case FormulaKind::kLessEq: {
+      if (!AtomOk(f, x, invertible)) {
+        return NotSafeError("atom not constructive under context " +
+                            x.ToString(ctx.symbols()) + ": " +
+                            FormulaToString(ctx, f));
+      }
+      return f;
+    }
+    case FormulaKind::kNot: {
+      if (!FreeVars(f->child()).IsSubsetOf(x)) {
+        return NotSafeError(
+            "negation's free variables not bounded by context " +
+            x.ToString(ctx.symbols()) + ": " + FormulaToString(ctx, f) +
+            " (T10/T15 inapplicable)");
+      }
+      auto inner = ToRanf(ctx, f->child(), x, invertible);
+      if (!inner.ok()) return inner;
+      return builder::Not(ctx, *inner);
+    }
+    case FormulaKind::kAnd: {
+      // Greedy FinD-driven ordering (subsumes T15 grouping): pick, in
+      // input order for determinism, any remaining conjunct that is
+      // translatable under the variables accumulated so far. Greedy is
+      // complete here because translatability is monotone in the context.
+      auto try_order = [&ctx, &x,
+                        &invertible](std::vector<const Formula*> remaining)
+          -> StatusOr<const Formula*> {
+        std::vector<const Formula*> ordered;
+        SymbolSet avail = x;
+        while (!remaining.empty()) {
+          bool progress = false;
+          for (size_t i = 0; i < remaining.size(); ++i) {
+            auto attempt = ToRanf(ctx, remaining[i], avail, invertible);
+            if (!attempt.ok()) continue;
+            avail = avail.Union(FreeVars(remaining[i]));
+            ordered.push_back(*attempt);
+            remaining.erase(remaining.begin() + i);
+            progress = true;
+            break;
+          }
+          if (!progress) {
+            std::string stuck;
+            for (const Formula* r : remaining) {
+              if (!stuck.empty()) stuck += " ; ";
+              stuck += FormulaToString(ctx, r);
+            }
+            return NotSafeError("cannot order conjunction under context " +
+                                avail.ToString(ctx.symbols()) +
+                                "; stuck on: " + stuck);
+          }
+        }
+        return builder::And(ctx, std::move(ordered));
+      };
+
+      std::vector<const Formula*> children(f->children().begin(),
+                                           f->children().end());
+      auto direct = try_order(children);
+      if (direct.ok()) return direct;
+
+      // T16: a constructive atom whose function arguments and variable
+      // bindings are mutually dependent with sibling conjuncts (e.g.
+      // R(x, f(y)) alongside g(x) = y) cannot be ordered as-is. Flatten
+      // function arguments into fresh existential variables — R(x, w) and
+      // f(y) = w — which decouples the atom's bindings from its
+      // conditions, and order again.
+      std::vector<const Formula*> flattened;
+      std::vector<Symbol> fresh;
+      for (const Formula* c : children) {
+        if (c->kind() != FormulaKind::kRel) {
+          flattened.push_back(c);
+          continue;
+        }
+        std::vector<const Term*> args(c->terms().begin(), c->terms().end());
+        std::vector<const Formula*> extracted;
+        for (const Term*& arg : args) {
+          if (arg->kind() != Term::Kind::kApply) continue;
+          Symbol w = ctx.symbols().Fresh("w");
+          extracted.push_back(ctx.MakeEq(arg, ctx.MakeVar(w)));
+          arg = ctx.MakeVar(w);
+          fresh.push_back(w);
+        }
+        if (extracted.empty()) {
+          flattened.push_back(c);
+        } else {
+          flattened.push_back(ctx.MakeRel(c->rel(), args));
+          flattened.insert(flattened.end(), extracted.begin(),
+                           extracted.end());
+        }
+      }
+      if (fresh.empty()) return direct.status();
+      auto retry = try_order(std::move(flattened));
+      if (!retry.ok()) return direct.status();
+      return builder::Exists(ctx, std::move(fresh), *retry);
+    }
+    case FormulaKind::kOr: {
+      SymbolSet expected = FreeVars(f->children()[0]).Minus(x);
+      std::vector<const Formula*> children;
+      for (const Formula* c : f->children()) {
+        if (FreeVars(c).Minus(x) != expected) {
+          return NotSafeError(
+              "disjuncts bind different new variables in " +
+              FormulaToString(ctx, f));
+        }
+        auto nc = ToRanf(ctx, c, x, invertible);
+        if (!nc.ok()) return nc;
+        children.push_back(*nc);
+      }
+      return builder::Or(ctx, std::move(children));
+    }
+    case FormulaKind::kExists: {
+      auto body = ToRanf(ctx, f->child(), x, invertible);
+      if (!body.ok()) return body;
+      std::vector<Symbol> vars(f->vars().begin(), f->vars().end());
+      return builder::Exists(ctx, std::move(vars), *body);
+    }
+    case FormulaKind::kForall:
+      return NotSafeError("forall survived ENF: " + FormulaToString(ctx, f));
+  }
+  return NotSafeError("unhandled formula kind");
+}
+
+}  // namespace emcalc

@@ -1,0 +1,52 @@
+// Step (3) of the translation: RANF (Relational Algebra Normal Form).
+//
+// A formula is RANF for a context X (the variables already bound to finite
+// column sets by the time the subformula is evaluated) when every part can
+// be mapped directly to an algebra operator:
+//
+//   - relation atoms are *constructive*: argument terms are either bare
+//     variables (which the atom binds from the relation's columns) or terms
+//     entirely over X (compiled to join conditions). Transformation T16
+//     ensures atoms like R(f(x), y) are ordered after conjuncts binding x;
+//   - equalities have at least one side over X, the other side over X
+//     (selection) or a bare variable (binding via extended projection);
+//   - inequalities are entirely over X (selection) — t1 != t2 is negative;
+//   - `not psi` has free(psi) inside X (difference) — transformation T15
+//     groups/orders the bounding conjuncts before the negation;
+//   - disjuncts of an `or` all bind exactly the same new variables (union
+//     of union-compatible branches);
+//   - conjunctions are *ordered*: each conjunct is RANF for X extended
+//     with the free variables of the conjuncts before it.
+//
+// ToRanf reorders conjunctions greedily, choosing at each step a conjunct
+// that is RANF for the variables accumulated so far — this is the paper's
+// FinD-driven ordering (the fd-closure sorting of [BB79] it cites) and
+// subsumes the grouping transformations T15/T16. Context is threaded into
+// disjunctions and existentials by the generator rather than by literal
+// syntactic distribution (T13/T14), which is semantically equivalent and
+// avoids duplicating the context subplan.
+#ifndef EMCALC_TRANSLATE_RANF_H_
+#define EMCALC_TRANSLATE_RANF_H_
+
+#include "src/base/status.h"
+#include "src/base/symbol_set.h"
+#include "src/calculus/ast.h"
+
+namespace emcalc {
+
+// Reorders `f` (which should be in ENF) into RANF for context X.
+// Fails with kNotSafe when no ordering exists (e.g. ENF ran with T10
+// disabled on a query that needs it). `invertible` lists function symbols
+// with registered inverses: for those, g(x) = t may *bind* x from t (the
+// [BM92a]-style extension; see finds/bound.h).
+StatusOr<const Formula*> ToRanf(AstContext& ctx, const Formula* f,
+                                const SymbolSet& context,
+                                const SymbolSet& invertible = SymbolSet{});
+
+// Checks the RANF conditions for `f` under context X.
+bool IsRanf(const Formula* f, const SymbolSet& context,
+            const SymbolSet& invertible = SymbolSet{});
+
+}  // namespace emcalc
+
+#endif  // EMCALC_TRANSLATE_RANF_H_

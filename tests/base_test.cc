@@ -1,0 +1,173 @@
+// Unit tests for src/base: Status/StatusOr, Arena, SymbolTable, SymbolSet,
+// and Value.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/base/arena.h"
+#include "src/base/status.h"
+#include "src/base/symbol.h"
+#include "src/base/symbol_set.h"
+#include "src/base/value.h"
+
+namespace emcalc {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotSafeError("free variable x");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotSafe);
+  EXPECT_EQ(s.message(), "free variable x");
+  EXPECT_EQ(s.ToString(), "NOT_SAFE: free variable x");
+}
+
+TEST(StatusTest, AllConstructorsSetDistinctCodes) {
+  EXPECT_EQ(InvalidArgumentError("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("").code(), StatusCode::kNotFound);
+  EXPECT_EQ(UnsupportedError("").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(InternalError("").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = NotFoundError("nope");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MovesValueOut) {
+  StatusOr<std::string> v = std::string("payload");
+  std::string out = std::move(v).value();
+  EXPECT_EQ(out, "payload");
+}
+
+TEST(ArenaTest, AllocatesAligned) {
+  Arena arena;
+  for (int i = 0; i < 1000; ++i) {
+    void* p8 = arena.Allocate(3, 8);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p8) % 8, 0u);
+    void* p16 = arena.Allocate(5, 16);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p16) % 16, 0u);
+  }
+  EXPECT_GE(arena.bytes_allocated(), 8000u);
+}
+
+TEST(ArenaTest, LargeAllocationsGetOwnBlocks) {
+  Arena arena;
+  char* big = static_cast<char*>(arena.Allocate(1 << 20, 8));
+  big[0] = 'a';
+  big[(1 << 20) - 1] = 'z';
+  char* small = static_cast<char*>(arena.Allocate(16, 8));
+  small[0] = 'b';
+  EXPECT_EQ(big[0], 'a');
+}
+
+TEST(ArenaTest, NewArrayCopies) {
+  Arena arena;
+  int src[3] = {1, 2, 3};
+  int* copy = arena.NewArray<int>(src, 3);
+  src[0] = 99;
+  EXPECT_EQ(copy[0], 1);
+  EXPECT_EQ(copy[2], 3);
+  EXPECT_EQ(arena.NewArray<int>(src, 0), nullptr);
+}
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable table;
+  Symbol a = table.Intern("x");
+  Symbol b = table.Intern("x");
+  Symbol c = table.Intern("y");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(table.Name(a), "x");
+  EXPECT_EQ(table.Name(c), "y");
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(SymbolTableTest, FreshAvoidsCollisions) {
+  SymbolTable table;
+  table.Intern("v_0");
+  Symbol f = table.Fresh("v");
+  EXPECT_NE(table.Name(f), "v_0");
+  EXPECT_TRUE(table.Contains(std::string(table.Name(f))));
+}
+
+TEST(SymbolSetTest, NormalizesOnConstruction) {
+  SymbolTable t;
+  Symbol x = t.Intern("x"), y = t.Intern("y");
+  SymbolSet s({y, x, y});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.Contains(x));
+  EXPECT_TRUE(s.Contains(y));
+}
+
+TEST(SymbolSetTest, SetAlgebra) {
+  SymbolTable t;
+  Symbol x = t.Intern("x"), y = t.Intern("y"), z = t.Intern("z");
+  SymbolSet xy({x, y}), yz({y, z});
+  EXPECT_EQ(xy.Union(yz), SymbolSet({x, y, z}));
+  EXPECT_EQ(xy.Intersect(yz), SymbolSet({y}));
+  EXPECT_EQ(xy.Minus(yz), SymbolSet({x}));
+  EXPECT_TRUE(SymbolSet({y}).IsSubsetOf(xy));
+  EXPECT_FALSE(xy.IsSubsetOf(yz));
+  EXPECT_TRUE(xy.Intersects(yz));
+  EXPECT_FALSE(SymbolSet({x}).Intersects(SymbolSet({z})));
+}
+
+TEST(SymbolSetTest, InsertRemove) {
+  SymbolTable t;
+  Symbol x = t.Intern("x"), y = t.Intern("y");
+  SymbolSet s;
+  EXPECT_TRUE(s.empty());
+  s.Insert(x);
+  s.Insert(x);
+  EXPECT_EQ(s.size(), 1u);
+  s.Insert(y);
+  s.Remove(x);
+  EXPECT_EQ(s, SymbolSet({y}));
+}
+
+TEST(SymbolSetTest, ToStringUsesNames) {
+  SymbolTable t;
+  SymbolSet s({t.Intern("b"), t.Intern("a")});
+  // Order follows interning ids, not lexicographic names.
+  EXPECT_EQ(s.ToString(t), "{b,a}");
+}
+
+TEST(ValueTest, OrderIntsBeforeStrings) {
+  EXPECT_LT(Value::Int(5), Value::Int(7));
+  EXPECT_LT(Value::Int(1000), Value::Str("a"));
+  EXPECT_LT(Value::Str("a"), Value::Str("b"));
+}
+
+TEST(ValueTest, EqualityAndAccessors) {
+  EXPECT_EQ(Value::Int(3), Value::Int(3));
+  EXPECT_NE(Value::Int(3), Value::Str("3"));
+  EXPECT_EQ(Value::Int(3).AsInt(), 3);
+  EXPECT_EQ(Value::Str("hi").AsStr(), "hi");
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Int(-4).ToString(), "-4");
+  EXPECT_EQ(Value::Str("bob").ToString(), "'bob'");
+}
+
+TEST(ValueTest, HashDistinguishesKinds) {
+  EXPECT_NE(Value::Int(3).Hash(), Value::Str("3").Hash());
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Int(3).Hash());
+}
+
+}  // namespace
+}  // namespace emcalc

@@ -1,0 +1,107 @@
+// Focused tests for the ENF pass's negation policy — the heart of the
+// T10 design: push `not` over `or` always, over `and` exactly when the
+// pushed form exposes bounding information, and never over relation atoms
+// or existentials (those are difference-translated).
+#include <gtest/gtest.h>
+
+#include "src/calculus/parser.h"
+#include "src/calculus/printer.h"
+#include "src/translate/enf.h"
+#include "src/translate/pipeline.h"
+
+namespace emcalc {
+namespace {
+
+class EnfPolicyTest : public ::testing::Test {
+ protected:
+  std::string Enf(const char* text, bool t10 = true) {
+    auto f = ParseFormula(ctx_, text);
+    EXPECT_TRUE(f.ok()) << f.status().ToString();
+    EnfOptions options;
+    options.enable_t10 = t10;
+    const Formula* enf = ToEnf(ctx_, *f, options);
+    EXPECT_TRUE(IsEnf(enf)) << FormulaToString(ctx_, enf);
+    return FormulaToString(ctx_, enf);
+  }
+  AstContext ctx_;
+};
+
+TEST_F(EnfPolicyTest, NegatedRelationAtomStays) {
+  EXPECT_EQ(Enf("R(x) and not S(x)"), "R(x) and not S(x)");
+}
+
+TEST_F(EnfPolicyTest, NegatedExistentialStays) {
+  EXPECT_EQ(Enf("R(x) and not exists y (S(x, y))"),
+            "R(x) and not exists y (S(x, y))");
+}
+
+TEST_F(EnfPolicyTest, NegatedDisjunctionAlwaysPushes) {
+  EXPECT_EQ(Enf("R(x) and not (S(x) or T(x))"),
+            "R(x) and not S(x) and not T(x)");
+}
+
+TEST_F(EnfPolicyTest, NegatedConjunctionKeptWithoutBoundingGain) {
+  // No bounding hides inside: keep as one unit for the difference.
+  EXPECT_EQ(Enf("R(x) and not (S(x) and T(x))"),
+            "R(x) and not (S(x) and T(x))");
+  EXPECT_EQ(Enf("R(x, y) and not (S(x) and x != y)"),
+            "R(x, y) and not (S(x) and x != y)");
+}
+
+TEST_F(EnfPolicyTest, T10PushesWhenNegatedInequalitiesHideBounding) {
+  EXPECT_EQ(Enf("B(x) and not (f(x) != y and g(x) != y)"),
+            "B(x) and (f(x) = y or g(x) = y)");
+}
+
+TEST_F(EnfPolicyTest, T10RespectsDisableFlag) {
+  EXPECT_EQ(Enf("B(x) and not (f(x) != y and g(x) != y)", /*t10=*/false),
+            "B(x) and not (f(x) != y and g(x) != y)");
+}
+
+TEST_F(EnfPolicyTest, NestedQ4BlockFullyNormalizes) {
+  // The q4 shape: not over (negative-conjunction or relation-atom).
+  EXPECT_EQ(Enf("B(x) and not ((f(x) != y and g(x) != y) or R(x, y))"),
+            "B(x) and (f(x) = y or g(x) = y) and not R(x, y)");
+}
+
+TEST_F(EnfPolicyTest, DoubleNegationThroughQuantifier) {
+  EXPECT_EQ(Enf("R(x) and not not exists y (S(x, y))"),
+            "R(x) and exists y (S(x, y))");
+}
+
+TEST_F(EnfPolicyTest, ForallBecomesNegatedExistential) {
+  EXPECT_EQ(Enf("R(x) and forall y (not T(x, y) or S(y))"),
+            "R(x) and not exists y (T(x, y) and not S(y))");
+}
+
+TEST_F(EnfPolicyTest, ForallUnderNegationBecomesExistential) {
+  EXPECT_EQ(Enf("R(x) and not forall y (not T(x, y))"),
+            "R(x) and exists y (T(x, y))");
+}
+
+TEST_F(EnfPolicyTest, NoPushWhenOnlySomeDisjunctsWouldBound) {
+  // Pushing not (x != y and T(x)) would give (x = y or not T(x)); the
+  // second branch carries no FinDs, so the disjunction's meet is empty —
+  // no bounding is gained and the negation stays for the difference
+  // operator (which is cheaper than a union).
+  EXPECT_EQ(Enf("R(x) and S(y) and not (x != y and T(x))"),
+            "R(x) and S(y) and not (x != y and T(x))");
+  // With both branches bounding, T10 fires (two inequality conjuncts).
+  EXPECT_EQ(Enf("R(x) and S(y) and not (x != y and succ(x) != y)"),
+            "R(x) and S(y) and (x = y or succ(x) = y)");
+}
+
+TEST_F(EnfPolicyTest, EquivalenceOfPolicyChoicesOnGT91Queries) {
+  // Where T10 never fires, the flag changes nothing.
+  const char* corpus[] = {
+      "R(x) and not (S(x) and T(x))",
+      "R(x) and not (S(x) or T(x))",
+      "R(x) and not exists y (T(x, y))",
+  };
+  for (const char* text : corpus) {
+    EXPECT_EQ(Enf(text, true), Enf(text, false)) << text;
+  }
+}
+
+}  // namespace
+}  // namespace emcalc

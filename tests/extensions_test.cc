@@ -1,0 +1,228 @@
+// Tests for the Section-9 extensions: external comparison predicates
+// (<, <=, >, >=) and parameterized "em-allowed for X" queries.
+#include <gtest/gtest.h>
+
+#include "src/algebra/eval.h"
+#include "src/algebra/printer.h"
+#include "src/calculus/parser.h"
+#include "src/calculus/printer.h"
+#include "src/core/compiler.h"
+#include "src/eval/calculus_eval.h"
+#include "src/safety/em_allowed.h"
+#include "src/safety/pushnot.h"
+#include "src/safety/simplify.h"
+#include "src/translate/pipeline.h"
+
+namespace emcalc {
+namespace {
+
+class ComparisonTest : public ::testing::Test {
+ protected:
+  ComparisonTest() : registry_(BuiltinFunctions()) {
+    for (int i = 1; i <= 6; ++i) {
+      EXPECT_TRUE(db_.Insert("R", {Value::Int(i)}).ok());
+    }
+    EXPECT_TRUE(db_.Insert("T", {Value::Int(2), Value::Int(5)}).ok());
+    EXPECT_TRUE(db_.Insert("T", {Value::Int(4), Value::Int(1)}).ok());
+  }
+
+  const Formula* Parse(std::string_view text) {
+    auto f = ParseFormula(ctx_, text);
+    EXPECT_TRUE(f.ok()) << f.status().ToString();
+    return *f;
+  }
+
+  AstContext ctx_;
+  Database db_;
+  FunctionRegistry registry_;
+};
+
+TEST_F(ComparisonTest, ParseAndPrint) {
+  EXPECT_EQ(FormulaToString(ctx_, Parse("x < y")), "x < y");
+  EXPECT_EQ(FormulaToString(ctx_, Parse("x <= succ(y)")), "x <= succ(y)");
+  // > and >= normalize to swapped < / <=.
+  EXPECT_EQ(FormulaToString(ctx_, Parse("x > y")), "y < x");
+  EXPECT_EQ(FormulaToString(ctx_, Parse("x >= y")), "y <= x");
+}
+
+TEST_F(ComparisonTest, RoundTrip) {
+  const char* corpus[] = {"R(x) and x < 3", "R(x) and 2 <= x and x <= 4"};
+  for (const char* text : corpus) {
+    const Formula* f = Parse(text);
+    std::string printed = FormulaToString(ctx_, f);
+    const Formula* again = Parse(printed);
+    EXPECT_TRUE(FormulasEqual(f, again)) << printed;
+  }
+}
+
+TEST_F(ComparisonTest, PushNotFlipsComparisons) {
+  EXPECT_EQ(FormulaToString(ctx_, PushNotStep(ctx_, Parse("not x < y"))),
+            "y <= x");
+  EXPECT_EQ(FormulaToString(ctx_, PushNotStep(ctx_, Parse("not x <= y"))),
+            "y < x");
+}
+
+TEST_F(ComparisonTest, SimplifyIdenticalSides) {
+  EXPECT_EQ(Simplify(ctx_, Parse("x < x")), ctx_.False());
+  EXPECT_EQ(Simplify(ctx_, Parse("x <= x")), ctx_.True());
+}
+
+TEST_F(ComparisonTest, ComparisonsGiveNoBounding) {
+  // Externally defined predicates bound nothing (Section 9(d)).
+  EXPECT_FALSE(CheckEmAllowed(ctx_, Parse("x < 5")).em_allowed);
+  EXPECT_FALSE(CheckEmAllowed(ctx_, Parse("R(x) and x < y")).em_allowed);
+  EXPECT_TRUE(CheckEmAllowed(ctx_, Parse("R(x) and x < 5")).em_allowed);
+  // Negated comparisons give no bounding either.
+  EXPECT_FALSE(
+      CheckEmAllowed(ctx_, Parse("R(x) and not (x < y)")).em_allowed);
+}
+
+TEST_F(ComparisonTest, TranslatesToSelection) {
+  AstContext ctx;
+  auto q = ParseQuery(ctx, "{x | R(x) and x < 4}");
+  ASSERT_TRUE(q.ok());
+  auto t = TranslateQuery(ctx, *q);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(AlgExprToString(ctx, t->plan), "select({@1<4}, R)");
+}
+
+TEST_F(ComparisonTest, MatchesOracle) {
+  const char* corpus[] = {
+      "{x | R(x) and x < 4}",
+      "{x | R(x) and 2 <= x and x <= 4}",
+      "{x | R(x) and not (x < 3)}",
+      "{x, y | T(x, y) and x < y}",
+      "{x, y | T(x, y) and succ(x) <= y}",
+      "{x | R(x) and not exists y (T(x, y) and y < x)}",
+      "{x | R(x) and (x < 2 or 5 <= x)}",
+  };
+  for (const char* text : corpus) {
+    auto q = ParseQuery(ctx_, text);
+    ASSERT_TRUE(q.ok());
+    auto t = TranslateQuery(ctx_, *q);
+    ASSERT_TRUE(t.ok()) << text << ": " << t.status().ToString();
+    auto plan_answer = EvaluateAlgebra(ctx_, t->plan, db_, registry_);
+    ASSERT_TRUE(plan_answer.ok());
+    auto oracle = EvaluateCalculus(ctx_, *q, db_, registry_);
+    ASSERT_TRUE(oracle.ok());
+    EXPECT_EQ(*plan_answer, *oracle)
+        << text << "\nplan: " << AlgExprToString(ctx_, t->plan);
+  }
+}
+
+TEST_F(ComparisonTest, MixedTypeOrderIsTotal) {
+  Database db;
+  ASSERT_TRUE(db.Insert("M", {Value::Int(5)}).ok());
+  ASSERT_TRUE(db.Insert("M", {Value::Str("apple")}).ok());
+  AstContext ctx;
+  auto q = ParseQuery(ctx, "{x | M(x) and x < 'zebra'}");
+  ASSERT_TRUE(q.ok());
+  auto t = TranslateQuery(ctx, *q);
+  ASSERT_TRUE(t.ok());
+  auto answer = EvaluateAlgebra(ctx, t->plan, db, registry_);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->size(), 2u);  // ints precede all strings
+}
+
+// --- parameterized queries ---
+
+class ParameterizedTest : public ::testing::Test {
+ protected:
+  ParameterizedTest() {
+    // EMP(id, dept, salary)
+    EXPECT_TRUE(db_.Insert("EMP", {Value::Int(1), Value::Int(10),
+                                   Value::Int(50'000)})
+                    .ok());
+    EXPECT_TRUE(db_.Insert("EMP", {Value::Int(2), Value::Int(10),
+                                   Value::Int(80'000)})
+                    .ok());
+    EXPECT_TRUE(db_.Insert("EMP", {Value::Int(3), Value::Int(20),
+                                   Value::Int(60'000)})
+                    .ok());
+  }
+  Compiler compiler_;
+  Database db_;
+};
+
+TEST_F(ParameterizedTest, RunWithDifferentArguments) {
+  auto q = compiler_.CompileParameterized(
+      "{e | exists s (EMP(e, d, s) and cap <= s)}", {"d", "cap"});
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->parameters().size(), 2u);
+
+  auto dept10_60k = q->Run(db_, {Value::Int(10), Value::Int(60'000)});
+  ASSERT_TRUE(dept10_60k.ok()) << dept10_60k.status().ToString();
+  ASSERT_EQ(dept10_60k->size(), 1u);
+  EXPECT_TRUE(dept10_60k->Contains({Value::Int(2)}));
+
+  auto dept10_40k = q->Run(db_, {Value::Int(10), Value::Int(40'000)});
+  ASSERT_TRUE(dept10_40k.ok());
+  EXPECT_EQ(dept10_40k->size(), 2u);
+
+  auto dept20 = q->Run(db_, {Value::Int(20), Value::Int(0)});
+  ASSERT_TRUE(dept20.ok());
+  EXPECT_TRUE(dept20->Contains({Value::Int(3)}));
+}
+
+TEST_F(ParameterizedTest, ParameterBoundFunctionImage) {
+  // The q2 shape relative to a parameter: y = f(p) is em-allowed *for* p
+  // but not as a closed query.
+  auto bad = compiler_.Compile("{y | succ(p) = y}");
+  EXPECT_FALSE(bad.ok());
+  auto good = compiler_.CompileParameterized("{y | succ(p) = y}", {"p"});
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  auto answer = good->Run(db_, {Value::Int(41)});
+  ASSERT_TRUE(answer.ok());
+  ASSERT_EQ(answer->size(), 1u);
+  EXPECT_TRUE(answer->Contains({Value::Int(42)}));
+}
+
+TEST_F(ParameterizedTest, BareFormulaFormDropsParamsFromHead) {
+  auto q = compiler_.CompileParameterized("EMP(e, d, s) and cap <= s",
+                                          {"cap"});
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  // Head = {d, e, s} (sorted), cap excluded.
+  EXPECT_EQ(q->query().head.size(), 3u);
+}
+
+TEST_F(ParameterizedTest, ValidationErrors) {
+  // Arg count mismatch.
+  auto q = compiler_.CompileParameterized("{y | succ(p) = y}", {"p"});
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q->Run(db_, {}).ok());
+  EXPECT_FALSE(q->Run(db_, {Value::Int(1), Value::Int(2)}).ok());
+  // Unsafe even given parameters.
+  EXPECT_FALSE(
+      compiler_.CompileParameterized("{y | not EMP(p, y, y)}", {"p"}).ok());
+  // Duplicate parameter names.
+  EXPECT_FALSE(
+      compiler_.CompileParameterized("{y | succ(p) = y}", {"p", "p"}).ok());
+  // Declared parameter not free in the body is a mismatch.
+  EXPECT_FALSE(
+      compiler_.CompileParameterized("{y | succ(1) = y}", {"p"}).ok());
+}
+
+TEST_F(ParameterizedTest, PlanForShowsGroundedPlan) {
+  auto q = compiler_.CompileParameterized("{y | succ(p) = y}", {"p"});
+  ASSERT_TRUE(q.ok());
+  auto plan = q->PlanFor({Value::Int(7)});
+  ASSERT_TRUE(plan.ok());
+  std::string text = AlgExprToString(compiler_.ctx(), *plan);
+  EXPECT_NE(text.find("succ(7)"), std::string::npos) << text;
+}
+
+TEST_F(ParameterizedTest, AgreesWithConstantSubstitutedQuery) {
+  auto param = compiler_.CompileParameterized(
+      "{e | exists s (EMP(e, d, s) and s < cap)}", {"d", "cap"});
+  ASSERT_TRUE(param.ok());
+  auto direct = compiler_.Compile(
+      "{e | exists s (EMP(e, 10, s) and s < 70000)}");
+  ASSERT_TRUE(direct.ok());
+  auto a = param->Run(db_, {Value::Int(10), Value::Int(70'000)});
+  auto b = direct->Run(db_);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+}  // namespace
+}  // namespace emcalc

@@ -1,0 +1,158 @@
+// Property tests for the facade-level features: view expansion and
+// parameterized queries must agree with the equivalent "manual" queries on
+// random inputs.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/calculus/analysis.h"
+#include "src/calculus/printer.h"
+#include "src/core/compiler.h"
+#include "src/core/random_query.h"
+#include "src/core/workload.h"
+
+namespace emcalc {
+namespace {
+
+// Builtins plus the generator's rf0/rf1 functions.
+FunctionRegistry TestFunctions() {
+  FunctionRegistry reg = BuiltinFunctions();
+  reg.Register("rf0", 1, [](std::span<const Value> a) {
+    int64_t n = a[0].is_int() ? a[0].AsInt() : 2;
+    return Value::Int((n + 1) % 6);
+  });
+  reg.Register("rf1", 2, [](std::span<const Value> a) {
+    int64_t n = a[0].is_int() ? a[0].AsInt() : 1;
+    int64_t m = a[1].is_int() ? a[1].AsInt() : 4;
+    return Value::Int((n * 2 + m) % 6);
+  });
+  return reg;
+}
+
+class FacadePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// A query using a view must compute exactly what the hand-inlined query
+// computes.
+TEST_P(FacadePropertyTest, ViewsAgreeWithManualInlining) {
+  struct Case {
+    const char* view;       // defined as VIEW
+    const char* with_view;  // query using VIEW
+    const char* inlined;    // the same query with VIEW expanded by hand
+  };
+  const Case cases[] = {
+      {"{a, b | E0(a, b) and a != b}",
+       "{x | exists y (VIEW(x, y) and E1(y))}",
+       "{x | exists y (E0(x, y) and x != y and E1(y))}"},
+      {"{a | E1(a) and not E2(a, a)}",
+       "{x, y | E0(x, y) and VIEW(y)}",
+       "{x, y | E0(x, y) and (E1(y) and not E2(y, y))}"},
+      {"{a, b | exists c (E2(a, c) and E2(c, b))}",
+       "{x | VIEW(x, x)}",
+       "{x | exists c (E2(x, c) and E2(c, x))}"},
+  };
+  Database db;
+  AddRandomTuples(db, "E0", 2, 20, 6, GetParam());
+  AddRandomTuples(db, "E1", 1, 8, 6, GetParam() + 1);
+  AddRandomTuples(db, "E2", 2, 20, 6, GetParam() + 2);
+  for (const Case& c : cases) {
+    Compiler with_views;
+    ASSERT_TRUE(with_views.DefineView("VIEW", c.view).ok()) << c.view;
+    auto q1 = with_views.Compile(c.with_view);
+    ASSERT_TRUE(q1.ok()) << c.with_view << ": " << q1.status().ToString();
+    Compiler plain;
+    auto q2 = plain.Compile(c.inlined);
+    ASSERT_TRUE(q2.ok()) << c.inlined << ": " << q2.status().ToString();
+    auto a = q1->Run(db);
+    auto b = q2->Run(db);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(*a, *b) << c.with_view;
+  }
+}
+
+// Running a parameterized query must match compiling the query with the
+// arguments substituted as constants, across random argument values.
+TEST_P(FacadePropertyTest, ParameterizedMatchesConstantSubstitution) {
+  Database db;
+  AddRandomTuples(db, "E0", 2, 25, 8, GetParam() * 3);
+  AddRandomTuples(db, "E1", 1, 10, 8, GetParam() * 3 + 1);
+  struct Case {
+    const char* parameterized;
+    const char* templated;  // %P replaced by the argument value
+  };
+  const Case cases[] = {
+      {"{x | E0(p, x)}", "{x | E0(%P, x)}"},
+      {"{x | E0(x, q) and not E1(x)}", "{x | E0(x, %P) and not E1(x)}"},
+      {"{x, y | E0(x, y) and succ(p) = x}",
+       "{x, y | E0(x, y) and succ(%P) = x}"},
+      {"{x | E1(x) and p <= x}", "{x | E1(x) and %P <= x}"},
+  };
+  const char* param_names[] = {"p", "q", "p", "p"};
+  for (size_t i = 0; i < std::size(cases); ++i) {
+    Compiler compiler;
+    auto pq = compiler.CompileParameterized(cases[i].parameterized,
+                                            {param_names[i]});
+    ASSERT_TRUE(pq.ok()) << cases[i].parameterized << ": "
+                         << pq.status().ToString();
+    for (int64_t value : {0, 3, 7, 100}) {
+      auto a = pq->Run(db, {Value::Int(value)});
+      ASSERT_TRUE(a.ok()) << a.status().ToString();
+      std::string text = cases[i].templated;
+      size_t pos = text.find("%P");
+      ASSERT_NE(pos, std::string::npos);
+      text.replace(pos, 2, std::to_string(value));
+      Compiler direct;
+      auto dq = direct.Compile(text);
+      ASSERT_TRUE(dq.ok()) << text << ": " << dq.status().ToString();
+      auto b = dq->Run(db);
+      ASSERT_TRUE(b.ok());
+      EXPECT_EQ(*a, *b) << text;
+    }
+  }
+}
+
+// Random em-allowed queries keep working when routed through a view
+// ("VIEW(args) == body"), exercising expansion on arbitrary shapes.
+TEST_P(FacadePropertyTest, RandomQueriesSurviveViewIndirection) {
+  Compiler compiler(TestFunctions());
+  RandomQueryGen gen(compiler.ctx(), GetParam() + 777);
+  Database db;
+  const auto& arities = gen.relation_arities();
+  for (size_t i = 0; i < arities.size(); ++i) {
+    AddRandomTuples(db, "R" + std::to_string(i), arities[i], 6, 6,
+                    GetParam() * 11 + i);
+  }
+  int checked = 0;
+  for (int i = 0; i < 30 && checked < 5; ++i) {
+    auto q = gen.NextEmAllowed();
+    if (!q.has_value()) continue;
+    if (q->head.empty() || CountApplications(q->body) > 3) continue;
+    std::string body_text = QueryToString(compiler.ctx(), *q);
+    Compiler with_view(TestFunctions());
+    if (!with_view.DefineView("W", body_text).ok()) continue;
+    std::string args;
+    for (size_t j = 0; j < q->head.size(); ++j) {
+      if (j > 0) args += ", ";
+      args +=
+          std::string(compiler.ctx().symbols().Name(q->head[j]));
+    }
+    std::string head = args;
+    auto via_view =
+        with_view.Compile("{" + head + " | W(" + args + ")}");
+    if (!via_view.ok()) continue;
+    Compiler direct(TestFunctions());
+    auto plain = direct.Compile(body_text);
+    ASSERT_TRUE(plain.ok()) << body_text;
+    auto a = via_view->Run(db);
+    auto b = plain->Run(db);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(*a, *b) << body_text;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FacadePropertyTest,
+                         ::testing::Values(51, 52, 53, 54));
+
+}  // namespace
+}  // namespace emcalc

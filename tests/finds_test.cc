@@ -1,0 +1,375 @@
+// Unit and property tests for the FinD engine: closures (naive and
+// Beeri–Bernstein linear), entailment, Armstrong's axioms, reduced covers,
+// projection, meets, and the bd() function over formulas.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/calculus/parser.h"
+#include "src/finds/bound.h"
+#include "src/finds/find.h"
+#include "src/finds/find_set.h"
+
+namespace emcalc {
+namespace {
+
+class FinDTest : public ::testing::Test {
+ protected:
+  Symbol S(std::string_view name) { return table_.Intern(name); }
+  SymbolTable table_;
+};
+
+TEST_F(FinDTest, RefinementOrder) {
+  // From the paper: x -> zw refines xy -> z.
+  FinD strong{SymbolSet({S("x")}), SymbolSet({S("z"), S("w")})};
+  FinD weak{SymbolSet({S("x"), S("y")}), SymbolSet({S("z")})};
+  EXPECT_TRUE(Refines(strong, weak));
+  EXPECT_FALSE(Refines(weak, strong));
+  // Reflexive.
+  EXPECT_TRUE(Refines(weak, weak));
+}
+
+TEST_F(FinDTest, RefinementAntisymmetric) {
+  FinD a{SymbolSet({S("x")}), SymbolSet({S("y")})};
+  FinD b{SymbolSet({S("x")}), SymbolSet({S("y"), S("z")})};
+  EXPECT_TRUE(Refines(b, a));
+  EXPECT_FALSE(Refines(a, b));
+}
+
+TEST_F(FinDTest, TrivialFinDsAreDropped) {
+  FinDSet set;
+  set.Add(FinD{SymbolSet({S("x"), S("y")}), SymbolSet({S("x")})});
+  EXPECT_TRUE(set.empty());
+  set.Add(FinD{SymbolSet({S("x")}), SymbolSet({S("y")})});
+  set.Add(FinD{SymbolSet({S("x")}), SymbolSet({S("y")})});  // dup
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST_F(FinDTest, ClosureBasics) {
+  FinDSet set;
+  set.Add(FinD{SymbolSet{}, SymbolSet({S("a")})});
+  set.Add(FinD{SymbolSet({S("a")}), SymbolSet({S("b")})});
+  set.Add(FinD{SymbolSet({S("b"), S("c")}), SymbolSet({S("d")})});
+  SymbolSet closure = set.Closure(SymbolSet{});
+  EXPECT_EQ(closure, SymbolSet({S("a"), S("b")}));
+  EXPECT_EQ(set.Closure(SymbolSet({S("c")})),
+            SymbolSet({S("a"), S("b"), S("c"), S("d")}));
+}
+
+TEST_F(FinDTest, LinearClosureMatchesNaive) {
+  std::mt19937_64 rng(7);
+  std::vector<Symbol> pool;
+  for (int i = 0; i < 12; ++i) pool.push_back(S("v" + std::to_string(i)));
+  for (int trial = 0; trial < 200; ++trial) {
+    FinDSet set;
+    int n = 1 + static_cast<int>(rng() % 10);
+    for (int i = 0; i < n; ++i) {
+      SymbolSet lhs, rhs;
+      int nl = static_cast<int>(rng() % 3);
+      int nr = 1 + static_cast<int>(rng() % 3);
+      for (int j = 0; j < nl; ++j) lhs.Insert(pool[rng() % pool.size()]);
+      for (int j = 0; j < nr; ++j) rhs.Insert(pool[rng() % pool.size()]);
+      set.Add(FinD{lhs, rhs});
+    }
+    SymbolSet start;
+    int ns = static_cast<int>(rng() % 4);
+    for (int j = 0; j < ns; ++j) start.Insert(pool[rng() % pool.size()]);
+    EXPECT_EQ(set.Closure(start), set.LinearClosure(start));
+  }
+}
+
+TEST_F(FinDTest, EntailmentArmstrongAxioms) {
+  std::mt19937_64 rng(11);
+  std::vector<Symbol> pool;
+  for (int i = 0; i < 8; ++i) pool.push_back(S("w" + std::to_string(i)));
+  auto random_set = [&](int max_finds) {
+    FinDSet set;
+    int n = static_cast<int>(rng() % max_finds);
+    for (int i = 0; i < n; ++i) {
+      SymbolSet lhs, rhs;
+      for (int j = 0, nl = static_cast<int>(rng() % 3); j < nl; ++j) {
+        lhs.Insert(pool[rng() % pool.size()]);
+      }
+      for (int j = 0, nr = 1 + static_cast<int>(rng() % 2); j < nr; ++j) {
+        rhs.Insert(pool[rng() % pool.size()]);
+      }
+      set.Add(FinD{lhs, rhs});
+    }
+    return set;
+  };
+  auto random_vars = [&](int max) {
+    SymbolSet s;
+    for (int j = 0, n = static_cast<int>(rng() % max); j < n; ++j) {
+      s.Insert(pool[rng() % pool.size()]);
+    }
+    return s;
+  };
+  for (int trial = 0; trial < 100; ++trial) {
+    FinDSet f = random_set(6);
+    SymbolSet x = random_vars(4), y = random_vars(4), z = random_vars(3);
+    // Reflexivity: X |= X -> Y for Y subset of X.
+    EXPECT_TRUE(f.Entails(x.Union(y), y));
+    // Augmentation: if X -> Y then XZ -> YZ.
+    if (f.Entails(x, y)) {
+      EXPECT_TRUE(f.Entails(x.Union(z), y.Union(z)));
+    }
+    // Transitivity via closure: X -> closure(X) always.
+    EXPECT_TRUE(f.Entails(x, f.Closure(x)));
+  }
+}
+
+TEST_F(FinDTest, ReduceLeftMinimizes) {
+  FinDSet set;
+  // {} -> a together with a,b -> c reduces b,{} side: a alone suffices? No:
+  // closure({b}) = {a,b,c}: since {}->a makes a free, {b} -> c holds.
+  set.Add(FinD{SymbolSet{}, SymbolSet({S("a")})});
+  set.Add(FinD{SymbolSet({S("a"), S("b")}), SymbolSet({S("c")})});
+  FinDSet reduced = set.Reduce();
+  EXPECT_TRUE(reduced.EquivalentTo(set));
+  for (const FinD& f : reduced) {
+    EXPECT_FALSE(f.lhs.Contains(S("a")));  // 'a' is implied, never needed
+  }
+}
+
+TEST_F(FinDTest, ReduceRemovesRedundant) {
+  FinDSet set;
+  set.Add(FinD{SymbolSet({S("x")}), SymbolSet({S("y")})});
+  set.Add(FinD{SymbolSet({S("y")}), SymbolSet({S("z")})});
+  set.Add(FinD{SymbolSet({S("x")}), SymbolSet({S("z")})});  // implied
+  FinDSet reduced = set.Reduce();
+  EXPECT_TRUE(reduced.EquivalentTo(set));
+  EXPECT_EQ(reduced.size(), 2u);
+}
+
+TEST_F(FinDTest, ReducePropertyEquivalentAndIdempotent) {
+  std::mt19937_64 rng(23);
+  std::vector<Symbol> pool;
+  for (int i = 0; i < 7; ++i) pool.push_back(S("r" + std::to_string(i)));
+  for (int trial = 0; trial < 150; ++trial) {
+    FinDSet set;
+    int n = static_cast<int>(rng() % 8);
+    for (int i = 0; i < n; ++i) {
+      SymbolSet lhs, rhs;
+      for (int j = 0, nl = static_cast<int>(rng() % 3); j < nl; ++j) {
+        lhs.Insert(pool[rng() % pool.size()]);
+      }
+      rhs.Insert(pool[rng() % pool.size()]);
+      set.Add(FinD{lhs, rhs});
+    }
+    FinDSet reduced = set.Reduce();
+    EXPECT_TRUE(reduced.EquivalentTo(set));
+    // Idempotent and canonical.
+    FinDSet twice = reduced.Reduce();
+    EXPECT_EQ(twice.size(), reduced.size());
+    EXPECT_TRUE(twice.EquivalentTo(reduced));
+    // No FinD refines another in a reduced cover.
+    for (size_t i = 0; i < reduced.size(); ++i) {
+      for (size_t j = 0; j < reduced.size(); ++j) {
+        if (i == j) continue;
+        EXPECT_FALSE(Refines(reduced.finds()[i], reduced.finds()[j]))
+            << reduced.ToString(table_);
+      }
+    }
+  }
+}
+
+TEST_F(FinDTest, RestrictProjectsDependencies) {
+  FinDSet set;
+  set.Add(FinD{SymbolSet({S("x")}), SymbolSet({S("q")})});
+  set.Add(FinD{SymbolSet({S("q")}), SymbolSet({S("y")})});
+  SymbolSet visible({S("x"), S("y")});
+  FinDSet projected = set.Restrict(visible);
+  // x -> y must survive the projection even though it passes through q.
+  EXPECT_TRUE(projected.Entails(SymbolSet({S("x")}), SymbolSet({S("y")})));
+  for (const FinD& f : projected) {
+    EXPECT_TRUE(f.lhs.IsSubsetOf(visible));
+    EXPECT_TRUE(f.rhs.IsSubsetOf(visible));
+  }
+}
+
+TEST_F(FinDTest, RestrictHeuristicSoundAgainstExact) {
+  std::mt19937_64 rng(31);
+  std::vector<Symbol> pool;
+  for (int i = 0; i < 6; ++i) pool.push_back(S("p" + std::to_string(i)));
+  for (int trial = 0; trial < 100; ++trial) {
+    FinDSet set;
+    for (int i = 0, n = static_cast<int>(rng() % 6); i < n; ++i) {
+      SymbolSet lhs, rhs;
+      for (int j = 0, nl = static_cast<int>(rng() % 2); j < nl; ++j) {
+        lhs.Insert(pool[rng() % pool.size()]);
+      }
+      rhs.Insert(pool[rng() % pool.size()]);
+      set.Add(FinD{lhs, rhs});
+    }
+    SymbolSet visible({pool[0], pool[1], pool[2]});
+    FinDSet heuristic = set.Restrict(visible);
+    FinDSet exact = set.RestrictExact(visible);
+    // Soundness: everything the heuristic claims, the exact version entails.
+    EXPECT_TRUE(exact.EntailsAll(heuristic))
+        << set.ToString(table_) << " -> " << heuristic.ToString(table_)
+        << " vs " << exact.ToString(table_);
+  }
+}
+
+TEST_F(FinDTest, MeetKeepsOnlyCommonFinDs) {
+  SymbolSet vars({S("x"), S("y")});
+  FinDSet left;   // R(x) and f(x)=y: {} -> x, x -> y
+  left.Add(FinD{SymbolSet{}, SymbolSet({S("x")})});
+  left.Add(FinD{SymbolSet({S("x")}), SymbolSet({S("y")})});
+  FinDSet right;  // S(y) and g(y)=x: {} -> y, y -> x
+  right.Add(FinD{SymbolSet{}, SymbolSet({S("y")})});
+  right.Add(FinD{SymbolSet({S("y")}), SymbolSet({S("x")})});
+  FinDSet meet = left.Meet(right, vars);
+  // Both bound everything from nothing, so the meet does too (paper's q5).
+  EXPECT_TRUE(meet.Entails(SymbolSet{}, vars));
+}
+
+TEST_F(FinDTest, MeetDropsOneSidedInformation) {
+  SymbolSet vars({S("x"), S("y")});
+  FinDSet left;
+  left.Add(FinD{SymbolSet{}, SymbolSet({S("x"), S("y")})});
+  FinDSet right;
+  right.Add(FinD{SymbolSet({S("x")}), SymbolSet({S("y")})});
+  FinDSet meet = left.Meet(right, vars);
+  EXPECT_FALSE(meet.Entails(SymbolSet{}, SymbolSet({S("y")})));
+  EXPECT_TRUE(meet.Entails(SymbolSet({S("x")}), SymbolSet({S("y")})));
+}
+
+TEST_F(FinDTest, MeetHeuristicSoundAgainstExact) {
+  std::mt19937_64 rng(41);
+  std::vector<Symbol> pool;
+  for (int i = 0; i < 5; ++i) pool.push_back(S("m" + std::to_string(i)));
+  SymbolSet vars(pool);
+  auto random_set = [&] {
+    FinDSet set;
+    for (int i = 0, n = static_cast<int>(rng() % 5); i < n; ++i) {
+      SymbolSet lhs, rhs;
+      for (int j = 0, nl = static_cast<int>(rng() % 2); j < nl; ++j) {
+        lhs.Insert(pool[rng() % pool.size()]);
+      }
+      rhs.Insert(pool[rng() % pool.size()]);
+      set.Add(FinD{lhs, rhs});
+    }
+    return set;
+  };
+  for (int trial = 0; trial < 100; ++trial) {
+    FinDSet a = random_set();
+    FinDSet b = random_set();
+    FinDSet heuristic = a.Meet(b, vars);
+    FinDSet exact = a.MeetExact(b, vars);
+    EXPECT_TRUE(exact.EntailsAll(heuristic));
+    // Both directions of soundness vs the inputs.
+    EXPECT_TRUE(a.EntailsAll(heuristic));
+    EXPECT_TRUE(b.EntailsAll(heuristic));
+  }
+}
+
+// --- bd() over formulas ---
+
+class BoundTest : public ::testing::Test {
+ protected:
+  const Formula* Parse(std::string_view text) {
+    auto f = ParseFormula(ctx_, text);
+    EXPECT_TRUE(f.ok()) << f.status().ToString();
+    return *f;
+  }
+  Symbol S(std::string_view name) { return ctx_.symbols().Intern(name); }
+  AstContext ctx_;
+};
+
+TEST_F(BoundTest, RelationAtomBoundsDirectVars) {
+  FinDSet bd = BoundingFinDs(ctx_, Parse("R(x, f(y), z)"));
+  EXPECT_TRUE(bd.Entails(SymbolSet{}, SymbolSet({S("x"), S("z")})));
+  EXPECT_FALSE(bd.Entails(SymbolSet{}, SymbolSet({S("y")})));
+  EXPECT_FALSE(bd.Entails(SymbolSet({S("x"), S("z")}), SymbolSet({S("y")})));
+}
+
+TEST_F(BoundTest, EqualityBoundsVariableSides) {
+  FinDSet bd = BoundingFinDs(ctx_, Parse("f(x) = y"));
+  EXPECT_TRUE(bd.Entails(SymbolSet({S("x")}), SymbolSet({S("y")})));
+  EXPECT_FALSE(bd.Entails(SymbolSet({S("y")}), SymbolSet({S("x")})));
+
+  FinDSet both = BoundingFinDs(ctx_, Parse("x = y"));
+  EXPECT_TRUE(both.Entails(SymbolSet({S("x")}), SymbolSet({S("y")})));
+  EXPECT_TRUE(both.Entails(SymbolSet({S("y")}), SymbolSet({S("x")})));
+
+  FinDSet konst = BoundingFinDs(ctx_, Parse("x = 5"));
+  EXPECT_TRUE(konst.Entails(SymbolSet{}, SymbolSet({S("x")})));
+}
+
+TEST_F(BoundTest, InequalityAndNegatedAtomsBoundNothing) {
+  EXPECT_TRUE(BoundingFinDs(ctx_, Parse("f(x) != y")).empty());
+  EXPECT_TRUE(BoundingFinDs(ctx_, Parse("not R(x)")).empty());
+}
+
+TEST_F(BoundTest, NegatedInequalityBoundsLikeEquality) {
+  FinDSet bd = BoundingFinDs(ctx_, Parse("not (f(x) != y)"));
+  EXPECT_TRUE(bd.Entails(SymbolSet({S("x")}), SymbolSet({S("y")})));
+}
+
+TEST_F(BoundTest, ConjunctionUnionsAndChains) {
+  FinDSet bd = BoundingFinDs(ctx_, Parse("R(x) and f(x) = y"));
+  EXPECT_TRUE(bd.Entails(SymbolSet{}, SymbolSet({S("x"), S("y")})));
+}
+
+TEST_F(BoundTest, DisjunctionMeets) {
+  // Paper's q5 body: both disjuncts bound {x,y} from nothing.
+  FinDSet bd = BoundingFinDs(
+      ctx_, Parse("(R(x) and f(x) = y) or (S(y) and g(y) = x)"));
+  EXPECT_TRUE(bd.Entails(SymbolSet{}, SymbolSet({S("x"), S("y")})));
+  // One-sided bounding does not survive the meet.
+  FinDSet partial =
+      BoundingFinDs(ctx_, Parse("(R(x) and S(y)) or (R(x) and f(x) != y)"));
+  EXPECT_TRUE(partial.Entails(SymbolSet{}, SymbolSet({S("x")})));
+  EXPECT_FALSE(partial.Entails(SymbolSet{}, SymbolSet({S("y")})));
+}
+
+TEST_F(BoundTest, ExistsProjectsAwayQuantifiedVars) {
+  FinDSet bd = BoundingFinDs(ctx_, Parse("exists q (R(q, x) and f(q) = y)"));
+  EXPECT_TRUE(bd.Entails(SymbolSet{}, SymbolSet({S("x"), S("y")})));
+  SymbolSet mentioned = bd.Vars();
+  EXPECT_FALSE(mentioned.Contains(S("q")));
+}
+
+TEST_F(BoundTest, Q4NegationExposesBounding) {
+  // The q4 pattern: bounding for y hides under a negated conjunction of
+  // inequalities; bd must push through (rule B6 + pushnot).
+  FinDSet bd = BoundingFinDs(
+      ctx_,
+      Parse("not (((f(x) != y and g(x) != y) or R(x, y)) and "
+            "((h(x) != y and k(x) != y) or P(x, y)))"));
+  EXPECT_TRUE(bd.Entails(SymbolSet({S("x")}), SymbolSet({S("y")})));
+  EXPECT_FALSE(bd.Entails(SymbolSet{}, SymbolSet({S("x")})));
+}
+
+TEST_F(BoundTest, ReducedAndNaiveCoversAgree) {
+  const char* corpus[] = {
+      "R(x) and f(x) = y",
+      "(R(x) and f(x) = y) or (S(y) and g(y) = x)",
+      "exists q (R(q) and f(q) = x) and S(y)",
+      "R(x, y, z) and not S(y, z)",
+      "R(x) and exists y (f(x) = y and not R(y))",
+  };
+  for (const char* text : corpus) {
+    BoundOptions reduced;
+    reduced.use_reduced_covers = true;
+    BoundOptions naive;
+    naive.use_reduced_covers = false;
+    FinDSet a = BoundingFinDs(ctx_, Parse(text), reduced);
+    FinDSet b = BoundingFinDs(ctx_, Parse(text), naive);
+    EXPECT_TRUE(a.EquivalentTo(b)) << text << ": " << a.ToString(ctx_.symbols())
+                                   << " vs " << b.ToString(ctx_.symbols());
+  }
+}
+
+TEST_F(BoundTest, AnalyzerCachesResults) {
+  BoundAnalyzer analyzer(ctx_);
+  const Formula* f = Parse("R(x) and f(x) = y");
+  analyzer.Bound(f);
+  size_t after_first = analyzer.computations();
+  analyzer.Bound(f);
+  EXPECT_EQ(analyzer.computations(), after_first);
+}
+
+}  // namespace
+}  // namespace emcalc

@@ -1,0 +1,185 @@
+// Tests for declared function inverses — the [BM92a] comparison point
+// (Section 2 of the paper): their notion constructs term closures "using
+// both functions and their inverses", which strictly enlarges the set of
+// safe queries. With no declared inverses our system matches the paper
+// exactly; with them, equalities g(x) = t can *bind* x.
+#include <gtest/gtest.h>
+
+#include "src/algebra/eval.h"
+#include "src/algebra/printer.h"
+#include "src/calculus/parser.h"
+#include "src/calculus/printer.h"
+#include "src/core/random_query.h"
+#include "src/eval/calculus_eval.h"
+#include "src/finds/bound.h"
+#include "src/safety/em_allowed.h"
+#include "src/translate/pipeline.h"
+
+namespace emcalc {
+namespace {
+
+class InversesTest : public ::testing::Test {
+ protected:
+  InversesTest() : registry_(BuiltinFunctions()) {
+    // S holds both even and odd values: double() is not surjective onto S.
+    for (int v : {2, 3, 4, 7, 8}) {
+      EXPECT_TRUE(db_.Insert("S", {Value::Int(v)}).ok());
+    }
+  }
+
+  TranslateOptions WithInverse() {
+    TranslateOptions options;
+    Symbol dbl = ctx_.symbols().Intern("double");
+    Symbol half = ctx_.symbols().Intern("half");
+    options.inverse_fns.emplace(dbl, half);
+    return options;
+  }
+
+  AstContext ctx_;
+  Database db_;
+  FunctionRegistry registry_;
+};
+
+TEST_F(InversesTest, BdGainsInverseFinDs) {
+  auto f = ParseFormula(ctx_, "double(x) = y");
+  ASSERT_TRUE(f.ok());
+  Symbol x = ctx_.symbols().Intern("x");
+  Symbol y = ctx_.symbols().Intern("y");
+  // Paper default: no inverse information.
+  FinDSet plain = BoundingFinDs(ctx_, *f);
+  EXPECT_FALSE(plain.Entails(SymbolSet{y}, SymbolSet{x}));
+  // With double declared invertible, y -> x appears.
+  BoundOptions options;
+  options.invertible_fns.Insert(ctx_.symbols().Intern("double"));
+  FinDSet inv = BoundingFinDs(ctx_, *f, options);
+  EXPECT_TRUE(inv.Entails(SymbolSet{y}, SymbolSet{x}));
+  EXPECT_TRUE(inv.Entails(SymbolSet{x}, SymbolSet{y}));
+}
+
+TEST_F(InversesTest, StrictlyMoreQueriesAccepted) {
+  // {x, y | S(y) and double(x) = y}: x is only derivable backwards.
+  auto q = ParseQuery(ctx_, "{x, y | S(y) and double(x) = y}");
+  ASSERT_TRUE(q.ok());
+  // Paper setting: rejected (no inverses — Section 1's "it might be
+  // impossible to compute the inverse of f").
+  EXPECT_FALSE(TranslateQuery(ctx_, *q).ok());
+  // With the declared inverse: accepted and translated.
+  auto t = TranslateQuery(ctx_, *q, WithInverse());
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  std::string plan = AlgExprToString(ctx_, t->plan);
+  EXPECT_NE(plan.find("half("), std::string::npos) << plan;
+}
+
+TEST_F(InversesTest, NonSurjectivityIsChecked) {
+  // double(half(v)) == v holds only for even v; odd S-values must drop out.
+  auto q = ParseQuery(ctx_, "{x, y | S(y) and double(x) = y}");
+  ASSERT_TRUE(q.ok());
+  auto t = TranslateQuery(ctx_, *q, WithInverse());
+  ASSERT_TRUE(t.ok());
+  auto answer = EvaluateAlgebra(ctx_, t->plan, db_, registry_);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  Relation expected(2);
+  expected.Insert({Value::Int(1), Value::Int(2)});
+  expected.Insert({Value::Int(2), Value::Int(4)});
+  expected.Insert({Value::Int(4), Value::Int(8)});
+  EXPECT_EQ(*answer, expected) << answer->ToString();
+}
+
+TEST_F(InversesTest, MatchesOracleWithInverseClosure) {
+  // The reference evaluator needs the inverse in its closure functions —
+  // exactly the [BM92a] "closure with inverses" notion.
+  auto q = ParseQuery(ctx_, "{x, y | S(y) and double(x) = y}");
+  ASSERT_TRUE(q.ok());
+  auto t = TranslateQuery(ctx_, *q, WithInverse());
+  ASSERT_TRUE(t.ok());
+  auto plan_answer = EvaluateAlgebra(ctx_, t->plan, db_, registry_);
+  ASSERT_TRUE(plan_answer.ok());
+  CalculusEvalOptions oracle_options;
+  oracle_options.extra_closure_fns = {{"half", 1}};
+  auto oracle = EvaluateCalculus(ctx_, *q, db_, registry_, oracle_options);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(*plan_answer, *oracle);
+}
+
+TEST_F(InversesTest, InverseInsideNegationAndExists) {
+  auto q = ParseQuery(
+      ctx_, "{y | S(y) and exists x (double(x) = y and not S(x))}");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(TranslateQuery(ctx_, *q).ok());  // paper default: x unbound
+  auto t = TranslateQuery(ctx_, *q, WithInverse());
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  auto answer = EvaluateAlgebra(ctx_, t->plan, db_, registry_);
+  ASSERT_TRUE(answer.ok());
+  // Even y in S with x = y/2 not in S: y=2 (x=1 not in S: yes),
+  // y=4 (x=2 in S: no), y=8 (x=4 in S: no).
+  Relation expected(1);
+  expected.Insert({Value::Int(2)});
+  EXPECT_EQ(*answer, expected) << answer->ToString();
+}
+
+TEST_F(InversesTest, RandomQueriesUnaffectedWhenInversesUnused) {
+  // Declaring an inverse must not change the answers of queries that were
+  // already translatable without it.
+  AstContext ctx;
+  FunctionRegistry registry;
+  registry.Register("rf0", 1, [](std::span<const Value> a) {
+    int64_t n = a[0].is_int() ? a[0].AsInt() : 1;
+    return Value::Int((n + 1) % 5);
+  });
+  registry.Register("rf0inv", 1, [](std::span<const Value> a) {
+    int64_t n = a[0].is_int() ? a[0].AsInt() : 1;
+    return Value::Int((n + 4) % 5);
+  });
+  registry.Register("rf1", 2, [](std::span<const Value> a) {
+    int64_t n = a[0].is_int() ? a[0].AsInt() : 1;
+    int64_t m = a[1].is_int() ? a[1].AsInt() : 2;
+    return Value::Int((n + 3 * m) % 5);
+  });
+  RandomQueryGen gen(ctx, 4096);
+  TranslateOptions with_inv;
+  with_inv.inverse_fns.emplace(ctx.symbols().Intern("rf0"),
+                               ctx.symbols().Intern("rf0inv"));
+  Database db;
+  const auto& arities = gen.relation_arities();
+  for (size_t i = 0; i < arities.size(); ++i) {
+    Relation rel(arities[i]);
+    for (int row = 0; row < 5; ++row) {
+      Tuple t;
+      for (int c = 0; c < arities[i]; ++c) {
+        t.push_back(Value::Int((row * 3 + c) % 5));
+      }
+      rel.Insert(std::move(t));
+    }
+    for (const Tuple& t : rel) {
+      ASSERT_TRUE(db.Insert("R" + std::to_string(i), t).ok());
+    }
+  }
+  int checked = 0;
+  for (int i = 0; i < 40 && checked < 10; ++i) {
+    auto q = gen.NextEmAllowed();
+    if (!q.has_value()) continue;
+    auto plain = TranslateQuery(ctx, *q);
+    ASSERT_TRUE(plain.ok());
+    auto inv = TranslateQuery(ctx, *q, with_inv);
+    ASSERT_TRUE(inv.ok());
+    auto a = EvaluateAlgebra(ctx, plain->plan, db, registry);
+    auto b = EvaluateAlgebra(ctx, inv->plan, db, registry);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(*a, *b) << QueryToString(ctx, *q);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST_F(InversesTest, OnlyUnaryBareVarApplicationsQualify) {
+  // plus(x, x) = y gives no inverse binding even if plus were declared.
+  TranslateOptions options;
+  options.inverse_fns.emplace(ctx_.symbols().Intern("plus"),
+                              ctx_.symbols().Intern("half"));
+  auto q = ParseQuery(ctx_, "{x, y | S(y) and plus(x, x) = y}");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(TranslateQuery(ctx_, *q, options).ok());
+}
+
+}  // namespace
+}  // namespace emcalc

@@ -1,0 +1,243 @@
+// The paper's worked examples, end to end (experiment E1): each named
+// query from the paper translates to (the shape of) the algebra expression
+// the paper reports, carries the claimed safety classification, and
+// evaluates correctly.
+#include <gtest/gtest.h>
+
+#include "src/algebra/eval.h"
+#include "src/algebra/printer.h"
+#include "src/calculus/analysis.h"
+#include "src/calculus/parser.h"
+#include "src/calculus/printer.h"
+#include "src/core/random_query.h"
+#include "src/eval/calculus_eval.h"
+#include "src/safety/allowed.h"
+#include "src/safety/em_allowed.h"
+#include "src/translate/pipeline.h"
+
+namespace emcalc {
+namespace {
+
+class PaperExamplesTest : public ::testing::Test {
+ protected:
+  PaperExamplesTest() : registry_(BuiltinFunctions()) {}
+
+  Query Parse(std::string_view text) {
+    auto q = ParseQuery(ctx_, text);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    return q.ok() ? *q : Query{};
+  }
+
+  std::string Plan(std::string_view text) {
+    auto t = TranslateQuery(ctx_, Parse(text));
+    EXPECT_TRUE(t.ok()) << text << " : " << t.status().ToString();
+    return t.ok() ? AlgExprToString(ctx_, t->plan) : "";
+  }
+
+  AstContext ctx_;
+  FunctionRegistry registry_;
+};
+
+// q1 (Introduction): {y | exists x (R(x) and y = g(f(x)))} is equivalent
+// to project([g(f(@1))], R).
+TEST_F(PaperExamplesTest, Q1TranslatesToExtendedProjection) {
+  EXPECT_EQ(Plan("{y | exists x (R(x) and y = g(f(x)))}"),
+            "project([g(f(@1))], R)");
+}
+
+TEST_F(PaperExamplesTest, Q1Evaluates) {
+  Database db;
+  ASSERT_TRUE(db.Insert("R", {Value::Int(3)}).ok());
+  ASSERT_TRUE(db.Insert("R", {Value::Int(5)}).ok());
+  FunctionRegistry reg;
+  reg.Register("f", 1, [](std::span<const Value> a) {
+    return Value::Int(a[0].AsInt() * 10);
+  });
+  reg.Register("g", 1, [](std::span<const Value> a) {
+    return Value::Int(a[0].AsInt() + 1);
+  });
+  auto t = TranslateQuery(ctx_, Parse("{y | exists x (R(x) and y = g(f(x)))}"));
+  ASSERT_TRUE(t.ok());
+  auto answer = EvaluateAlgebra(ctx_, t->plan, db, reg);
+  ASSERT_TRUE(answer.ok());
+  Relation expected(1);
+  expected.Insert({Value::Int(31)});
+  expected.Insert({Value::Int(51)});
+  EXPECT_EQ(*answer, expected);
+}
+
+// q2 (Section 2): R(x) and exists y (f(x) = y and not R(y)) is em-allowed
+// but not range-restricted [AB88].
+TEST_F(PaperExamplesTest, Q2EmAllowedButNotRangeRestricted) {
+  auto f = ParseFormula(ctx_, "R(x) and exists y (f(x) = y and not R(y))");
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(CheckEmAllowed(ctx_, *f).em_allowed);
+  EXPECT_FALSE(IsRangeRestricted(ctx_, *f));
+  // And it translates — producing a difference inside, not an adom scan.
+  std::string plan =
+      Plan("{x | R(x) and exists y (f(x) = y and not R(y))}");
+  EXPECT_NE(plan.find(" - "), std::string::npos) << plan;
+  EXPECT_EQ(plan.find("adom"), std::string::npos) << plan;
+}
+
+// q4 (Introduction; bounding atom B(x) added, DESIGN.md R3): em-allowed
+// and embedded domain independent, Top91-safe, but untranslatable without
+// the new transformation T10.
+TEST_F(PaperExamplesTest, Q4RequiresT10) {
+  const char* q4 =
+      "{x, y | B(x) and not (((f(x) != y and g(x) != y) or R(x, y)) and "
+      "((h(x) != y and k(x) != y) or P(x, y)))}";
+  Query q = Parse(q4);
+  EXPECT_TRUE(CheckEmAllowed(ctx_, q).em_allowed);
+  EXPECT_TRUE(IsTop91Safe(ctx_, q.body));
+  EXPECT_TRUE(TranslateQuery(ctx_, q).ok());
+  TranslateOptions gt91_only;
+  gt91_only.enable_t10 = false;
+  EXPECT_FALSE(TranslateQuery(ctx_, q, gt91_only).ok());
+}
+
+TEST_F(PaperExamplesTest, Q4EvaluatesCorrectly) {
+  // Answer = {(x, v) | B(x), v in {f(x),g(x)} with not R(x,v), or
+  //                    v in {h(x),k(x)} with not P(x,v)}.
+  Database db;
+  ASSERT_TRUE(db.Insert("B", {Value::Int(1)}).ok());
+  ASSERT_TRUE(db.AddRelation("R", 2).ok());
+  ASSERT_TRUE(db.AddRelation("P", 2).ok());
+  ASSERT_TRUE(db.Insert("R", {Value::Int(1), Value::Int(11)}).ok());
+  FunctionRegistry reg;
+  auto constant_fn = [](int64_t delta) {
+    return [delta](std::span<const Value> a) {
+      return Value::Int(a[0].AsInt() + delta);
+    };
+  };
+  reg.Register("f", 1, constant_fn(10));   // f(1)=11, blocked by R
+  reg.Register("g", 1, constant_fn(20));   // g(1)=21
+  reg.Register("h", 1, constant_fn(30));   // h(1)=31
+  reg.Register("k", 1, constant_fn(40));   // k(1)=41
+  const char* q4 =
+      "{x, y | B(x) and not (((f(x) != y and g(x) != y) or R(x, y)) and "
+      "((h(x) != y and k(x) != y) or P(x, y)))}";
+  auto t = TranslateQuery(ctx_, Parse(q4));
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  auto answer = EvaluateAlgebra(ctx_, t->plan, db, reg);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  Relation expected(2);
+  expected.Insert({Value::Int(1), Value::Int(21)});  // g(1), not R
+  expected.Insert({Value::Int(1), Value::Int(31)});  // h(1), not P
+  expected.Insert({Value::Int(1), Value::Int(41)});  // k(1), not P
+  EXPECT_EQ(*answer, expected) << answer->ToString();
+  // Cross-check with the reference evaluator.
+  auto oracle = EvaluateCalculus(ctx_, Parse(q4), db, reg);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(*answer, *oracle);
+}
+
+// q5 (Section 2): em-allowed but not Top91-safe.
+TEST_F(PaperExamplesTest, Q5EmAllowedButNotTop91Safe) {
+  auto f =
+      ParseFormula(ctx_, "(R(x) and f(x) = y) or (S(y) and g(y) = x)");
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(CheckEmAllowed(ctx_, *f).em_allowed);
+  EXPECT_FALSE(IsTop91Safe(ctx_, *f));
+  // Translates to a union of two extended projections.
+  std::string plan = Plan("{x, y | (R(x) and f(x) = y) or (S(y) and "
+                          "g(y) = x)}");
+  EXPECT_NE(plan.find(" + "), std::string::npos) << plan;
+  EXPECT_NE(plan.find("f(@1)"), std::string::npos) << plan;
+}
+
+// q6 (Section 2, vs [AB88]): {x,y,z | R(x,y,z) and not S(y,z)} translates
+// directly to R - project([@1,@2,@3], join({@2==@4,@3==@5}, R, S)).
+TEST_F(PaperExamplesTest, Q6TranslatesToDifference) {
+  EXPECT_EQ(Plan("{x, y, z | R(x, y, z) and not S(y, z)}"),
+            "(R - project([@1,@2,@3], join({@2==@4,@3==@5}, R, S)))");
+}
+
+// q7 (Section 2, vs [Top91]): {x | x = 0 and forall u exists v (u+1 = v)}
+// is NOT embedded domain independent and must be rejected.
+TEST_F(PaperExamplesTest, Q7RejectedAsNotEmAllowed) {
+  Query q = Parse("{x | x = 0 and forall u (exists v (plus(u, 1) = v))}");
+  EXPECT_FALSE(CheckEmAllowed(ctx_, q).em_allowed);
+  auto t = TranslateQuery(ctx_, q);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.status().code(), StatusCode::kNotSafe);
+}
+
+// Containment table (experiment E8): em-allowed strictly contains each
+// comparison criterion on the corpus witnesses.
+TEST_F(PaperExamplesTest, CriteriaContainmentWitnesses) {
+  struct Row {
+    const char* text;
+    bool em, gt91, rr, top91;
+  };
+  const Row rows[] = {
+      // function-free classic: all criteria agree
+      {"R(x, y) and not S(y)", true, true, true, true},
+      // q2: em yes, rr no
+      {"R(x) and exists y (f(x) = y and not R(y))", true, false, false,
+       true},
+      // q5: em yes, top91 no
+      {"(R(x) and f(x) = y) or (S(y) and g(y) = x)", true, false, true,
+       false},
+      // complement: nobody accepts
+      {"not R(x)", false, false, false, false},
+  };
+  for (const Row& row : rows) {
+    auto f = ParseFormula(ctx_, row.text);
+    ASSERT_TRUE(f.ok());
+    EXPECT_EQ(CheckEmAllowed(ctx_, *f).em_allowed, row.em) << row.text;
+    EXPECT_EQ(IsAllowedGT91(ctx_, *f), row.gt91) << row.text;
+    EXPECT_EQ(IsRangeRestricted(ctx_, *f), row.rr) << row.text;
+    EXPECT_EQ(IsTop91Safe(ctx_, *f), row.top91) << row.text;
+  }
+}
+
+// The paper: "if phi has no function symbols, then phi is em-allowed if
+// and only if phi is allowed in the sense of [GT91]" — checked over a
+// large random function-free corpus.
+TEST_F(PaperExamplesTest, FunctionFreeEmAllowedEqualsAllowed) {
+  AstContext ctx;
+  RandomQueryOptions options;
+  options.num_functions = 0;  // function-free corpus
+  options.p_function_eq = 0.0;
+  RandomQueryGen gen(ctx, 1337, options);
+  int checked = 0;
+  for (int i = 0; i < 500; ++i) {
+    Query q = gen.Next();
+    ASSERT_FALSE(HasFunctions(q.body));
+    EXPECT_EQ(IsAllowedGT91(ctx, q.body),
+              CheckEmAllowed(ctx, q.body).em_allowed)
+        << QueryToString(ctx, q);
+    ++checked;
+  }
+  EXPECT_EQ(checked, 500);
+}
+
+// Theorem 6.6 witnessed numerically: em-allowed corpus answers are stable
+// across closure levels at and beyond CountApplications (>= ||phi|| - 1).
+TEST_F(PaperExamplesTest, Theorem66LevelStability) {
+  Database db;
+  ASSERT_TRUE(db.Insert("R", {Value::Int(1)}).ok());
+  ASSERT_TRUE(db.Insert("R", {Value::Int(4)}).ok());
+  ASSERT_TRUE(db.Insert("S", {Value::Int(2)}).ok());
+  const char* corpus[] = {
+      "{x | R(x) and exists y (succ(x) = y and not R(y))}",
+      "{x, y | R(x) and succ(x) = y and not S(y)}",
+  };
+  for (const char* text : corpus) {
+    Query q = Parse(text);
+    CalculusEvalOptions at;
+    auto base = EvaluateCalculus(ctx_, q, db, registry_, at);
+    ASSERT_TRUE(base.ok());
+    for (int level = 2; level <= 4; ++level) {
+      CalculusEvalOptions higher;
+      higher.level = level;
+      auto more = EvaluateCalculus(ctx_, q, db, registry_, higher);
+      ASSERT_TRUE(more.ok());
+      EXPECT_EQ(*base, *more) << text << " at level " << level;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace emcalc

@@ -1,0 +1,192 @@
+// Cross-cutting pipeline invariants, checked on both the named corpus and
+// random queries:
+//
+//  - translated plans never contain kAdom nodes (the whole point of the
+//    direct translation);
+//  - plans reference only relations/functions the query mentions;
+//  - the optimized plan is never larger than the raw plan;
+//  - translation output is deterministic;
+//  - compiled plans never call scalar functions on values outside
+//    term^k(adom) — the operational heart of embedded domain independence
+//    (Theorem 6.6), checked with a tripwire function registry.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/algebra/eval.h"
+#include "src/algebra/printer.h"
+#include "src/calculus/analysis.h"
+#include "src/calculus/parser.h"
+#include "src/calculus/printer.h"
+#include "src/core/random_query.h"
+#include "src/core/workload.h"
+#include "src/storage/adom.h"
+#include "src/translate/pipeline.h"
+
+namespace emcalc {
+namespace {
+
+// Collects operator kinds and relation symbols used by a plan.
+void CollectPlan(const AlgExpr* plan, std::set<AlgKind>& kinds,
+                 std::set<Symbol>& rels) {
+  kinds.insert(plan->kind());
+  if (plan->kind() == AlgKind::kRel) rels.insert(plan->rel());
+  switch (plan->kind()) {
+    case AlgKind::kProject:
+    case AlgKind::kSelect:
+      CollectPlan(plan->input(), kinds, rels);
+      break;
+    case AlgKind::kJoin:
+    case AlgKind::kUnion:
+    case AlgKind::kDiff:
+      CollectPlan(plan->left(), kinds, rels);
+      CollectPlan(plan->right(), kinds, rels);
+      break;
+    default:
+      break;
+  }
+}
+
+TEST(PipelineInvariantsTest, PlansStayInsideTheQuerySignature) {
+  AstContext ctx;
+  RandomQueryGen gen(ctx, 2718);
+  int checked = 0;
+  for (int i = 0; i < 80 && checked < 25; ++i) {
+    auto q = gen.NextEmAllowed();
+    if (!q.has_value()) continue;
+    auto t = TranslateQuery(ctx, *q);
+    ASSERT_TRUE(t.ok()) << QueryToString(ctx, *q);
+    std::set<AlgKind> kinds;
+    std::set<Symbol> rels;
+    CollectPlan(t->plan, kinds, rels);
+    // Never an active-domain scan.
+    EXPECT_EQ(kinds.count(AlgKind::kAdom), 0u) << QueryToString(ctx, *q);
+    // Only relations the query mentions.
+    auto mentioned = CollectRelations(q->body);
+    for (Symbol r : rels) {
+      EXPECT_TRUE(mentioned.count(r) > 0)
+          << "plan scans unmentioned relation "
+          << ctx.symbols().Name(r) << " for " << QueryToString(ctx, *q);
+    }
+    // The simplifier never grows the plan.
+    EXPECT_LE(t->plan->NodeCount(), t->raw_plan->NodeCount());
+    ++checked;
+  }
+  EXPECT_GE(checked, 20);
+}
+
+TEST(PipelineInvariantsTest, TranslationIsDeterministic) {
+  AstContext ctx;
+  RandomQueryGen gen(ctx, 977);
+  int checked = 0;
+  for (int i = 0; i < 40 && checked < 10; ++i) {
+    auto q = gen.NextEmAllowed();
+    if (!q.has_value()) continue;
+    auto t1 = TranslateQuery(ctx, *q);
+    auto t2 = TranslateQuery(ctx, *q);
+    ASSERT_TRUE(t1.ok() && t2.ok());
+    EXPECT_EQ(AlgExprToString(ctx, t1->plan), AlgExprToString(ctx, t2->plan))
+        << QueryToString(ctx, *q);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+// The tripwire: functions that abort the test when applied to a value
+// outside the allowed neighborhood. Verifies that evaluating a translated
+// plan only ever applies scalar functions to values from term^k(adom) —
+// the computational content of embedded domain independence.
+TEST(PipelineInvariantsTest, PlansOnlyApplyFunctionsInsideTheNeighborhood) {
+  AstContext ctx;
+  RandomQueryGen gen(ctx, 31337);
+  Database db;
+  const auto& arities = gen.relation_arities();
+  for (size_t i = 0; i < arities.size(); ++i) {
+    AddRandomTuples(db, "R" + std::to_string(i), arities[i], 6, 6, 5 + i);
+  }
+
+  // The compact implementations used to close the neighborhood.
+  auto rf0 = [](int64_t n) { return (n + 1) % 7; };
+  auto rf1 = [](int64_t n, int64_t m) { return (n * 2 + m) % 7; };
+
+  int checked = 0;
+  for (int i = 0; i < 60 && checked < 12; ++i) {
+    auto q = gen.NextEmAllowed();
+    if (!q.has_value()) continue;
+    int level = CountApplications(q->body);
+    if (level > 4) continue;
+    auto t = TranslateQuery(ctx, *q);
+    ASSERT_TRUE(t.ok());
+
+    // Compute term^level(adom(q, I)) with plain implementations.
+    FunctionRegistry plain;
+    plain.Register("rf0", 1, [&rf0](std::span<const Value> a) {
+      return Value::Int(rf0(a[0].is_int() ? a[0].AsInt() : 0));
+    });
+    plain.Register("rf1", 2, [&rf1](std::span<const Value> a) {
+      return Value::Int(rf1(a[0].is_int() ? a[0].AsInt() : 0,
+                            a[1].is_int() ? a[1].AsInt() : 0));
+    });
+    ValueSet base = ActiveDomain(ctx, q->body, db);
+    auto closure = TermClosure(base, {{"rf0", 1}, {"rf1", 2}}, plain,
+                               level, 100000);
+    ASSERT_TRUE(closure.ok());
+    const ValueSet& hood = *closure;
+    auto inside = [&hood](const Value& v) {
+      return std::binary_search(hood.begin(), hood.end(), v);
+    };
+
+    // Tripwire registry: same functions, but arguments must be in the
+    // neighborhood.
+    int violations = 0;
+    FunctionRegistry tripwire;
+    tripwire.Register("rf0", 1,
+                      [&rf0, &inside, &violations](std::span<const Value> a) {
+                        if (!inside(a[0])) ++violations;
+                        return Value::Int(
+                            rf0(a[0].is_int() ? a[0].AsInt() : 0));
+                      });
+    tripwire.Register("rf1", 2,
+                      [&rf1, &inside, &violations](std::span<const Value> a) {
+                        if (!inside(a[0]) || !inside(a[1])) ++violations;
+                        return Value::Int(
+                            rf1(a[0].is_int() ? a[0].AsInt() : 0,
+                                a[1].is_int() ? a[1].AsInt() : 0));
+                      });
+    auto answer = EvaluateAlgebra(ctx, t->plan, db, tripwire);
+    ASSERT_TRUE(answer.ok());
+    EXPECT_EQ(violations, 0) << QueryToString(ctx, *q);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(PipelineInvariantsTest, NamedCorpusPlanShapesAreStable) {
+  // Golden plans for the paper's examples — any change here is a
+  // deliberate translator change and should update this table.
+  struct Golden {
+    const char* query;
+    const char* plan;
+  };
+  const Golden golden[] = {
+      {"{y | exists x (R(x) and y = g(f(x)))}", "project([g(f(@1))], R)"},
+      {"{x, y, z | R(x, y, z) and not S(y, z)}",
+       "(R - project([@1,@2,@3], join({@2==@4,@3==@5}, R, S)))"},
+      {"{x, y | (R(x) and f(x) = y) or (S(y) and g(y) = x)}",
+       "(project([@1,f(@1)], R) + project([g(@1),@1], S))"},
+      {"{x | R(x) and x < 4}", "select({@1<4}, R)"},
+      {"{x | R(x) and not S(x)}", "(R - project([@1], join({@1==@2}, R, "
+                                  "S)))"},
+  };
+  for (const Golden& g : golden) {
+    AstContext ctx;
+    auto q = ParseQuery(ctx, g.query);
+    ASSERT_TRUE(q.ok());
+    auto t = TranslateQuery(ctx, *q);
+    ASSERT_TRUE(t.ok()) << g.query;
+    EXPECT_EQ(AlgExprToString(ctx, t->plan), g.plan) << g.query;
+  }
+}
+
+}  // namespace
+}  // namespace emcalc

@@ -1,0 +1,209 @@
+// Tests for relations, databases, the function registry/builtins, active
+// domains, and term closures.
+#include <gtest/gtest.h>
+
+#include "src/calculus/parser.h"
+#include "src/storage/adom.h"
+#include "src/storage/database.h"
+#include "src/storage/interpretation.h"
+#include "src/storage/relation.h"
+
+namespace emcalc {
+namespace {
+
+TEST(RelationTest, SetSemantics) {
+  Relation r(2);
+  r.Insert({Value::Int(1), Value::Int(2)});
+  r.Insert({Value::Int(1), Value::Int(2)});
+  r.Insert({Value::Int(0), Value::Int(9)});
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains({Value::Int(1), Value::Int(2)}));
+  EXPECT_FALSE(r.Contains({Value::Int(2), Value::Int(1)}));
+}
+
+TEST(RelationTest, TuplesAreSorted) {
+  Relation r(1);
+  r.Insert({Value::Int(5)});
+  r.Insert({Value::Int(1)});
+  r.Insert({Value::Str("a")});
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.tuples()[0][0], Value::Int(1));
+  EXPECT_EQ(r.tuples()[2][0], Value::Str("a"));
+}
+
+TEST(RelationTest, UnionAndDifference) {
+  Relation a(1), b(1);
+  a.Insert({Value::Int(1)});
+  a.Insert({Value::Int(2)});
+  b.Insert({Value::Int(2)});
+  b.Insert({Value::Int(3)});
+  Relation u = a.UnionWith(b);
+  EXPECT_EQ(u.size(), 3u);
+  Relation d = a.DifferenceWith(b);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_TRUE(d.Contains({Value::Int(1)}));
+}
+
+TEST(RelationTest, ZeroArity) {
+  Relation t(0);
+  EXPECT_TRUE(t.empty());
+  t.Insert({});
+  t.Insert({});
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.Contains({}));
+}
+
+TEST(RelationTest, EqualityIgnoresInsertionOrder) {
+  Relation a(1), b(1);
+  a.Insert({Value::Int(1)});
+  a.Insert({Value::Int(2)});
+  b.Insert({Value::Int(2)});
+  b.Insert({Value::Int(1)});
+  EXPECT_EQ(a, b);
+}
+
+TEST(DatabaseTest, CatalogOperations) {
+  Database db;
+  EXPECT_TRUE(db.AddRelation("R", 2).ok());
+  EXPECT_TRUE(db.AddRelation("R", 2).ok());   // idempotent
+  EXPECT_FALSE(db.AddRelation("R", 3).ok());  // arity conflict
+  EXPECT_TRUE(db.Insert("R", {Value::Int(1), Value::Int(2)}).ok());
+  EXPECT_FALSE(db.Insert("R", {Value::Int(1)}).ok());
+  EXPECT_TRUE(db.Insert("S", {Value::Int(7)}).ok());  // auto-create
+  EXPECT_NE(db.Find("S"), nullptr);
+  EXPECT_EQ(db.Find("T"), nullptr);
+  EXPECT_FALSE(db.Get("T").ok());
+  EXPECT_EQ(db.TotalTuples(), 2u);
+}
+
+TEST(FunctionRegistryTest, RegisterAndLookup) {
+  FunctionRegistry reg;
+  reg.Register("inc", 1, [](std::span<const Value> a) {
+    return Value::Int(a[0].AsInt() + 1);
+  });
+  ASSERT_NE(reg.Find("inc"), nullptr);
+  EXPECT_EQ(reg.Find("inc")->arity, 1);
+  EXPECT_FALSE(reg.Get("inc", 2).ok());
+  EXPECT_FALSE(reg.Get("dec", 1).ok());
+  auto f = reg.Get("inc", 1);
+  ASSERT_TRUE(f.ok());
+  Value in[] = {Value::Int(4)};
+  EXPECT_EQ((*f)->fn(in), Value::Int(5));
+}
+
+TEST(BuiltinFunctionsTest, ArithmeticAndStrings) {
+  FunctionRegistry reg = BuiltinFunctions();
+  auto call1 = [&](const char* name, Value a) {
+    Value args[] = {a};
+    return reg.Find(name)->fn(args);
+  };
+  auto call2 = [&](const char* name, Value a, Value b) {
+    Value args[] = {a, b};
+    return reg.Find(name)->fn(args);
+  };
+  EXPECT_EQ(call1("succ", Value::Int(4)), Value::Int(5));
+  EXPECT_EQ(call1("pred", Value::Int(4)), Value::Int(3));
+  EXPECT_EQ(call1("abs", Value::Int(-4)), Value::Int(4));
+  EXPECT_EQ(call2("plus", Value::Int(2), Value::Int(3)), Value::Int(5));
+  EXPECT_EQ(call2("concat", Value::Str("a"), Value::Str("b")),
+            Value::Str("ab"));
+  EXPECT_EQ(call2("concat", Value::Int(1), Value::Str("b")),
+            Value::Str("1b"));
+  EXPECT_EQ(call1("len", Value::Str("abc")), Value::Int(3));
+  EXPECT_EQ(call1("first_char", Value::Str("xyz")), Value::Str("x"));
+}
+
+TEST(BuiltinFunctionsTest, TotalOnMixedDomain) {
+  // Every builtin must accept any mix of ints and strings (totality is the
+  // paper's standing assumption on scalar functions).
+  FunctionRegistry reg = BuiltinFunctions();
+  Value samples[] = {Value::Int(-3), Value::Int(0), Value::Str(""),
+                     Value::Str("abc")};
+  for (const auto& [name, fn] : reg.functions()) {
+    if (fn.arity == 1) {
+      for (const Value& a : samples) {
+        Value args[] = {a};
+        (void)fn.fn(args);  // must not crash
+      }
+    } else if (fn.arity == 2) {
+      for (const Value& a : samples) {
+        for (const Value& b : samples) {
+          Value args[] = {a, b};
+          (void)fn.fn(args);
+        }
+      }
+    }
+  }
+}
+
+TEST(AdomTest, ActiveDomainCollectsAllColumns) {
+  Database db;
+  EXPECT_TRUE(db.Insert("R", {Value::Int(1), Value::Str("a")}).ok());
+  EXPECT_TRUE(db.Insert("S", {Value::Int(2)}).ok());
+  ValueSet adom = ActiveDomain(db);
+  EXPECT_EQ(adom.size(), 3u);
+  EXPECT_TRUE(std::binary_search(adom.begin(), adom.end(), Value::Str("a")));
+}
+
+TEST(AdomTest, QueryConstantsJoinActiveDomain) {
+  AstContext ctx;
+  auto f = ParseFormula(ctx, "R(x) and x != 99");
+  ASSERT_TRUE(f.ok());
+  Database db;
+  EXPECT_TRUE(db.Insert("R", {Value::Int(1)}).ok());
+  ValueSet adom = ActiveDomain(ctx, *f, db);
+  EXPECT_EQ(adom.size(), 2u);
+  EXPECT_TRUE(std::binary_search(adom.begin(), adom.end(), Value::Int(99)));
+}
+
+TEST(TermClosureTest, LevelsGrowMonotonically) {
+  FunctionRegistry reg = BuiltinFunctions();
+  ValueSet base = {Value::Int(0)};
+  std::vector<std::pair<std::string, int>> fns = {{"succ", 1}};
+  auto l0 = TermClosure(base, fns, reg, 0, 1000);
+  auto l1 = TermClosure(base, fns, reg, 1, 1000);
+  auto l3 = TermClosure(base, fns, reg, 3, 1000);
+  ASSERT_TRUE(l0.ok() && l1.ok() && l3.ok());
+  EXPECT_EQ(l0->size(), 1u);
+  EXPECT_EQ(l1->size(), 2u);  // {0, 1}
+  EXPECT_EQ(l3->size(), 4u);  // {0, 1, 2, 3}
+  EXPECT_TRUE(std::includes(l3->begin(), l3->end(), l1->begin(), l1->end()));
+}
+
+TEST(TermClosureTest, BinaryFunctionsCloseOverPairs) {
+  FunctionRegistry reg = BuiltinFunctions();
+  ValueSet base = {Value::Int(1), Value::Int(2)};
+  std::vector<std::pair<std::string, int>> fns = {{"plus", 2}};
+  auto l1 = TermClosure(base, fns, reg, 1, 1000);
+  ASSERT_TRUE(l1.ok());
+  // 1+1=2, 1+2=3, 2+2=4 -> {1,2,3,4}
+  EXPECT_EQ(l1->size(), 4u);
+}
+
+TEST(TermClosureTest, FixpointStops) {
+  FunctionRegistry reg = BuiltinFunctions();
+  ValueSet base = {Value::Int(5)};
+  std::vector<std::pair<std::string, int>> fns = {{"abs", 1}};
+  auto l5 = TermClosure(base, fns, reg, 5, 1000);
+  ASSERT_TRUE(l5.ok());
+  EXPECT_EQ(l5->size(), 1u);  // abs(5) = 5: closed immediately
+}
+
+TEST(TermClosureTest, BudgetEnforced) {
+  FunctionRegistry reg = BuiltinFunctions();
+  ValueSet base = {Value::Int(0)};
+  std::vector<std::pair<std::string, int>> fns = {{"succ", 1}};
+  auto r = TermClosure(base, fns, reg, 100, 10);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(TermClosureTest, UnknownFunctionFails) {
+  FunctionRegistry reg;
+  auto r = TermClosure({Value::Int(0)}, {{"mystery", 1}}, reg, 1, 10);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace emcalc

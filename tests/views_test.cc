@@ -1,0 +1,141 @@
+// Tests for view definitions (named queries expanded as relation atoms).
+#include <gtest/gtest.h>
+
+#include "src/calculus/parser.h"
+#include "src/calculus/printer.h"
+#include "src/calculus/views.h"
+#include "src/core/compiler.h"
+
+namespace emcalc {
+namespace {
+
+class ViewsTest : public ::testing::Test {
+ protected:
+  ViewsTest() {
+    // EDGE(a, b): a small graph.
+    // 1 -> 2 -> 3 -> 4, plus shortcuts 1 -> 4 and 2 -> 4.
+    const int edges[][2] = {{1, 2}, {2, 3}, {3, 4}, {1, 4}, {2, 4}};
+    for (auto [a, b] : edges) {
+      EXPECT_TRUE(
+          db_.Insert("EDGE", {Value::Int(a), Value::Int(b)}).ok());
+    }
+  }
+  Compiler compiler_;
+  Database db_;
+};
+
+TEST_F(ViewsTest, BasicExpansionAndRun) {
+  ASSERT_TRUE(compiler_
+                  .DefineView("TWO_HOP",
+                              "{a, c | exists b (EDGE(a, b) and EDGE(b, c))}")
+                  .ok());
+  auto q = compiler_.Compile("{x, y | TWO_HOP(x, y)}");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto answer = q->Run(db_);
+  ASSERT_TRUE(answer.ok());
+  Relation expected(2);
+  expected.Insert({Value::Int(1), Value::Int(3)});  // 1-2-3
+  expected.Insert({Value::Int(2), Value::Int(4)});  // 2-3-4
+  expected.Insert({Value::Int(1), Value::Int(4)});  // 1-2-4
+  EXPECT_EQ(*answer, expected);
+}
+
+TEST_F(ViewsTest, ViewsComposeAndNest) {
+  ASSERT_TRUE(compiler_
+                  .DefineView("TWO_HOP",
+                              "{a, c | exists b (EDGE(a, b) and EDGE(b, c))}")
+                  .ok());
+  ASSERT_TRUE(compiler_
+                  .DefineView("SHORTCUT",
+                              "{a, c | TWO_HOP(a, c) and EDGE(a, c)}")
+                  .ok());
+  auto q = compiler_.Compile("{x | SHORTCUT(x, 4)}");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto answer = q->Run(db_);
+  ASSERT_TRUE(answer.ok());
+  // TWO_HOP into 4: (2,4) via 2-3-4 and (1,4) via 1-2-4; both also have a
+  // direct edge.
+  ASSERT_EQ(answer->size(), 2u);
+  EXPECT_TRUE(answer->Contains({Value::Int(1)}));
+  EXPECT_TRUE(answer->Contains({Value::Int(2)}));
+}
+
+TEST_F(ViewsTest, ArgumentsMayBeTermsAndConstants) {
+  ASSERT_TRUE(
+      compiler_.DefineView("LOOPBACK", "{a, b | EDGE(a, b) and EDGE(b, a)}")
+          .ok());
+  // Function-term argument: LOOPBACK(succ(x), x).
+  auto q = compiler_.Compile("{x | EDGE(x, x) or (EDGE(x, 2) and "
+                             "LOOPBACK(succ(x), succ(x)))}");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto answer = q->Run(db_);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer->empty());  // no self-loops in the instance
+}
+
+TEST_F(ViewsTest, BoundVariablesAreRenamedApart) {
+  // The view's bound variable b must not collide with the caller's b.
+  ASSERT_TRUE(compiler_
+                  .DefineView("HAS_SUCCESSOR",
+                              "{a | exists b (EDGE(a, b))}")
+                  .ok());
+  auto q = compiler_.Compile("{b | EDGE(1, b) and HAS_SUCCESSOR(b)}");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto answer = q->Run(db_);
+  ASSERT_TRUE(answer.ok());
+  ASSERT_EQ(answer->size(), 1u);
+  EXPECT_TRUE(answer->Contains({Value::Int(2)}));  // 2 has an edge; 4 not
+}
+
+TEST_F(ViewsTest, ViewsNeedNotBeSafeAlone) {
+  // {x, y | succ(x) = y} is not em-allowed standalone but fine as a view
+  // when the caller bounds x.
+  ASSERT_TRUE(compiler_.DefineView("NEXT", "{x, y | succ(x) = y}").ok());
+  auto bad = compiler_.Compile("{x, y | NEXT(x, y)}");
+  EXPECT_FALSE(bad.ok());
+  auto good = compiler_.Compile("{x, y | EDGE(x, 2) and NEXT(x, y)}");
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  auto answer = good->Run(db_);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer->Contains({Value::Int(1), Value::Int(2)}));
+}
+
+TEST_F(ViewsTest, ParameterizedQueriesSeeViews) {
+  ASSERT_TRUE(compiler_
+                  .DefineView("REACH2",
+                              "{a, c | exists b (EDGE(a, b) and EDGE(b, c))}")
+                  .ok());
+  auto q = compiler_.CompileParameterized("{c | REACH2(src, c)}", {"src"});
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto from1 = q->Run(db_, {Value::Int(1)});
+  ASSERT_TRUE(from1.ok());
+  EXPECT_TRUE(from1->Contains({Value::Int(3)}));
+}
+
+TEST_F(ViewsTest, ErrorsAreReported) {
+  // Ill-formed definition.
+  EXPECT_FALSE(compiler_.DefineView("BAD", "{x, y | EDGE(x, x)}").ok());
+  // Arity mismatch at use.
+  ASSERT_TRUE(compiler_.DefineView("V", "{a | EDGE(a, a)}").ok());
+  EXPECT_FALSE(compiler_.Compile("{x, y | V(x, y)}").ok());
+  // Self-referential view.
+  EXPECT_FALSE(compiler_.DefineView("W", "{a | W(a)}").ok());
+}
+
+TEST_F(ViewsTest, MutualRecursionRejectedAtUse) {
+  AstContext ctx;
+  auto v1 = ParseQuery(ctx, "{a | V2(a)}");
+  auto v2 = ParseQuery(ctx, "{a | V1(a)}");
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  ViewMap views;
+  views[ctx.symbols().Intern("V1")] = *v1;
+  views[ctx.symbols().Intern("V2")] = *v2;
+  auto f = ParseFormula(ctx, "V1(x)");
+  ASSERT_TRUE(f.ok());
+  auto expanded = ExpandViews(ctx, *f, views);
+  ASSERT_FALSE(expanded.ok());
+  EXPECT_NE(expanded.status().message().find("cyclic"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emcalc
