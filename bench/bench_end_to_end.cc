@@ -4,9 +4,11 @@
 // data and the run-time phase scales with it.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "src/algebra/eval.h"
 #include "src/calculus/parser.h"
 #include "src/core/compiler.h"
 #include "src/core/workload.h"
@@ -44,13 +46,55 @@ void Report() {
     std::printf("query: %s\nplan:  %s\n", text, q->PlanString().c_str());
     for (size_t n : {100u, 1000u, 10000u}) {
       emcalc::Database db = emcalc::MakePayrollInstance(n, 8, 3);
-      emcalc::AlgebraEvalStats stats;
-      auto r = q->Run(db, &stats);
+      emcalc::ExecProfile profile;
+      auto r = q->RunWithProfile(db, &profile);
       if (!r.ok()) continue;
+      emcalc::ExecTotals totals = emcalc::SumProfile(profile);
       std::printf("  |EMP|=%-6zu answers=%-6zu tuples_produced=%llu\n", n,
                   r->size(),
-                  static_cast<unsigned long long>(stats.tuples_produced));
+                  static_cast<unsigned long long>(totals.rows_out));
+      emcalc::bench::AppendExecRecord("end_to_end", text, "exec", n,
+                                      r->size(), profile);
     }
+    // Per-operator breakdown at the largest size (EXPLAIN ANALYZE style).
+    emcalc::Database db = emcalc::MakePayrollInstance(10000, 8, 3);
+    auto analyzed = q->ExplainAnalyze(db);
+    if (analyzed.ok()) std::printf("%s", analyzed->c_str());
+  }
+
+  // Acceptance check: the physical execution layer must not be slower than
+  // the legacy recursive interpreter on the payroll workload at |EMP|=1e4.
+  std::printf("\nexec layer vs legacy interpreter (|EMP|=10000, best of 5):\n");
+  for (const char* text : {kNetPay, kNoBonus}) {
+    auto q = compiler.Compile(text);
+    if (!q.ok()) continue;
+    emcalc::Database db = emcalc::MakePayrollInstance(10000, 8, 3);
+    auto best_ns = [](auto&& fn) {
+      uint64_t best = ~0ull;
+      for (int i = 0; i < 5; ++i) {
+        auto start = std::chrono::steady_clock::now();
+        fn();
+        auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+        if (static_cast<uint64_t>(ns) < best) best = static_cast<uint64_t>(ns);
+      }
+      return best;
+    };
+    uint64_t exec_ns = best_ns([&] {
+      auto r = q->Run(db);
+      benchmark::DoNotOptimize(r.ok());
+    });
+    uint64_t legacy_ns = best_ns([&] {
+      auto r = emcalc::EvaluateAlgebraLegacy(compiler.ctx(), q->plan(), db,
+                                             compiler.functions());
+      benchmark::DoNotOptimize(r.ok());
+    });
+    std::printf("  %-60s exec=%8.3fms legacy=%8.3fms speedup=%.2fx\n", text,
+                static_cast<double>(exec_ns) / 1e6,
+                static_cast<double>(legacy_ns) / 1e6,
+                static_cast<double>(legacy_ns) /
+                    static_cast<double>(exec_ns));
   }
   std::printf("\n");
 }

@@ -1,12 +1,16 @@
 // Shared helpers for the experiment binaries: a tiny report printer used
 // to emit the paper-claim vs measured tables before the google-benchmark
-// timing runs.
+// timing runs, plus machine-readable emission of execution profiles.
 #ifndef EMCALC_BENCH_BENCH_UTIL_H_
 #define EMCALC_BENCH_BENCH_UTIL_H_
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "src/exec/physical.h"
 
 namespace emcalc::bench {
 
@@ -17,6 +21,85 @@ inline void Banner(const char* experiment, const char* claim) {
   std::printf("%s\n", experiment);
   std::printf("paper claim: %s\n", claim);
   std::printf("==========================================================\n");
+}
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// Renders an ExecProfile subtree as a JSON object (nested children).
+inline void ProfileToJson(const ExecProfile& p, std::string& out) {
+  out += "{\"op\":\"";
+  out += PhysOpKindName(p.op);
+  out += "\"";
+  if (!p.detail.empty()) out += ",\"detail\":\"" + JsonEscape(p.detail) + "\"";
+  out += ",\"arity\":" + std::to_string(p.arity);
+  if (p.shared_ref) {
+    out += ",\"shared_ref\":true}";
+    return;
+  }
+  out += ",\"rows_in\":" + std::to_string(p.stats.rows_in);
+  out += ",\"rows_out\":" + std::to_string(p.stats.rows_out);
+  if (p.stats.build_rows > 0) {
+    out += ",\"build_rows\":" + std::to_string(p.stats.build_rows);
+  }
+  if (p.stats.hash_probes > 0) {
+    out += ",\"hash_probes\":" + std::to_string(p.stats.hash_probes);
+  }
+  if (p.stats.function_calls > 0) {
+    out += ",\"function_calls\":" + std::to_string(p.stats.function_calls);
+  }
+  if (p.stats.tuple_copies > 0) {
+    out += ",\"tuple_copies\":" + std::to_string(p.stats.tuple_copies);
+  }
+  if (p.stats.cache_hits > 0) {
+    out += ",\"cache_hits\":" + std::to_string(p.stats.cache_hits);
+  }
+  out += ",\"wall_ns\":" + std::to_string(p.stats.wall_ns);
+  if (!p.children.empty()) {
+    out += ",\"children\":[";
+    for (size_t i = 0; i < p.children.size(); ++i) {
+      if (i > 0) out += ",";
+      ProfileToJson(p.children[i], out);
+    }
+    out += "]";
+  }
+  out += "}";
+}
+
+// Appends one record to BENCH_exec.json in the working directory. The file
+// is JSON Lines (one object per line) because several bench binaries
+// contribute records to the same file; re-runs append.
+inline void AppendExecRecord(const std::string& bench,
+                             const std::string& query,
+                             const std::string& variant, size_t instance_rows,
+                             size_t answer_rows, const ExecProfile& profile) {
+  ExecTotals totals = SumProfile(profile);
+  std::string line = "{\"bench\":\"" + JsonEscape(bench) + "\"";
+  line += ",\"query\":\"" + JsonEscape(query) + "\"";
+  line += ",\"variant\":\"" + JsonEscape(variant) + "\"";
+  line += ",\"instance_rows\":" + std::to_string(instance_rows);
+  line += ",\"answer_rows\":" + std::to_string(answer_rows);
+  line += ",\"tuples_scanned\":" + std::to_string(totals.rows_in);
+  line += ",\"tuples_produced\":" + std::to_string(totals.rows_out);
+  line += ",\"function_calls\":" + std::to_string(totals.function_calls);
+  line += ",\"tuple_copies\":" + std::to_string(totals.tuple_copies);
+  line += ",\"profile\":";
+  ProfileToJson(profile, line);
+  line += "}\n";
+  std::ofstream out("BENCH_exec.json", std::ios::app);
+  out << line;
 }
 
 // Standard main: print the report, then run the registered benchmarks.

@@ -13,6 +13,7 @@
 #include "src/algebra/eval.h"
 #include "src/calculus/parser.h"
 #include "src/core/workload.h"
+#include "src/exec/lower.h"
 #include "src/translate/active_domain.h"
 #include "src/translate/pipeline.h"
 
@@ -45,21 +46,30 @@ void Report() {
     auto direct = emcalc::TranslateQuery(ctx, *q);
     auto adom = emcalc::TranslateActiveDomain(ctx, *q);
     if (!direct.ok() || !adom.ok()) return;
-    emcalc::AlgebraEvalStats ds, as;
-    auto r1 = emcalc::EvaluateAlgebra(ctx, direct->plan, db, registry, &ds);
-    auto r2 = emcalc::EvaluateAlgebra(ctx, *adom, db, registry, &as);
+    auto direct_plan = emcalc::Lower(ctx, direct->plan, registry);
+    auto adom_plan = emcalc::Lower(ctx, *adom, registry);
+    if (!direct_plan.ok() || !adom_plan.ok()) return;
+    emcalc::ExecProfile dp, ap;
+    auto r1 = direct_plan->ExecuteToRelation(db, &dp);
+    auto r2 = adom_plan->ExecuteToRelation(db, &ap);
     if (!r1.ok() || !r2.ok()) return;
     if (!(*r1 == *r2)) {
       std::printf("MISMATCH on %s at %lld rows!\n", text,
                   static_cast<long long>(rows));
       return;
     }
+    emcalc::ExecTotals dt = emcalc::SumProfile(dp);
+    emcalc::ExecTotals at = emcalc::SumProfile(ap);
     std::printf("%-8s %-6lld %14llu %14llu %9.1fx\n", label,
                 static_cast<long long>(rows),
-                static_cast<unsigned long long>(ds.tuples_produced),
-                static_cast<unsigned long long>(as.tuples_produced),
-                static_cast<double>(as.tuples_produced) /
-                    static_cast<double>(ds.tuples_produced));
+                static_cast<unsigned long long>(dt.rows_out),
+                static_cast<unsigned long long>(at.rows_out),
+                static_cast<double>(at.rows_out) /
+                    static_cast<double>(dt.rows_out));
+    emcalc::bench::AppendExecRecord("vs_active_domain", text, "direct",
+                                    static_cast<size_t>(rows), r1->size(), dp);
+    emcalc::bench::AppendExecRecord("vs_active_domain", text, "adom",
+                                    static_cast<size_t>(rows), r2->size(), ap);
   };
 
   std::printf("fixed value pool (200):\n");

@@ -6,6 +6,8 @@
 
 #include "src/base/check.h"
 #include "src/calculus/analysis.h"
+#include "src/exec/lower.h"
+#include "src/exec/physical.h"
 
 namespace emcalc {
 namespace {
@@ -392,15 +394,37 @@ class Evaluator {
 
 }  // namespace
 
+StatusOr<Relation> EvaluateAlgebraLegacy(
+    const AstContext& ctx, const AlgExpr* plan, const Database& db,
+    const FunctionRegistry& registry, AlgebraEvalStats* stats,
+    const AlgebraEvalOptions& options) {
+  Evaluator evaluator(ctx, db, registry, stats, options);
+  if (Status s = evaluator.Validate(plan); !s.ok()) return s;
+  evaluator.CountRefs(plan);
+  return evaluator.Eval(plan);
+}
+
 StatusOr<Relation> EvaluateAlgebra(const AstContext& ctx, const AlgExpr* plan,
                                    const Database& db,
                                    const FunctionRegistry& registry,
                                    AlgebraEvalStats* stats,
                                    const AlgebraEvalOptions& options) {
-  Evaluator evaluator(ctx, db, registry, stats, options);
-  if (Status s = evaluator.Validate(plan); !s.ok()) return s;
-  evaluator.CountRefs(plan);
-  return evaluator.Eval(plan);
+  ExecOptions exec_options;
+  exec_options.adom_budget = options.adom_budget;
+  auto physical = Lower(ctx, plan, registry, exec_options);
+  if (!physical.ok()) return physical.status();
+  ExecProfile profile;
+  auto result =
+      physical->ExecuteToRelation(db, stats != nullptr ? &profile : nullptr);
+  if (!result.ok()) return result;
+  if (stats != nullptr) {
+    ExecTotals totals = SumProfile(profile);
+    stats->tuples_scanned += totals.rows_in;
+    stats->tuples_produced += totals.rows_out;
+    stats->function_calls += totals.function_calls;
+    stats->tuple_copies += totals.tuple_copies;
+  }
+  return result;
 }
 
 }  // namespace emcalc

@@ -1,8 +1,18 @@
-// Evaluator for extended-algebra plans against a database instance and a
-// scalar-function interpretation. Joins with column-equality conditions use
-// hash joins; everything else falls back to nested loops. The evaluator
-// records simple cost counters so the experiments can report work done, not
-// just wall time.
+// Evaluation of extended-algebra plans against a database instance and a
+// scalar-function interpretation.
+//
+// EvaluateAlgebra is a thin compatibility wrapper over the physical
+// execution layer (src/exec/): the plan is lowered to physical operators
+// (hash joins for equality conditions, Materialize nodes for DAG-shared
+// subplans) and executed with shared-ownership results; the flat
+// AlgebraEvalStats counters are aggregated from the per-operator
+// ExecProfile. Callers that want the per-operator breakdown should use
+// Lower() + PhysicalPlan::Execute directly (see src/exec/lower.h).
+//
+// EvaluateAlgebraLegacy is the original one-shot recursive interpreter,
+// kept as a differential-testing oracle for the execution layer (it
+// deep-copies materialized relations at every node — correct, slow, and
+// structurally independent of the physical operators).
 #ifndef EMCALC_ALGEBRA_EVAL_H_
 #define EMCALC_ALGEBRA_EVAL_H_
 
@@ -14,11 +24,14 @@
 
 namespace emcalc {
 
-// Cost counters accumulated over one evaluation.
+// Flat cost counters accumulated over one evaluation. Aggregated from the
+// execution layer's per-operator ExecProfile; kept for callers that only
+// need totals.
 struct AlgebraEvalStats {
   uint64_t tuples_produced = 0;   // summed over every operator's output
   uint64_t tuples_scanned = 0;    // summed over every operator's inputs
   uint64_t function_calls = 0;    // scalar function applications
+  uint64_t tuple_copies = 0;      // existing tuples copied between buffers
 };
 
 // Evaluation knobs.
@@ -28,14 +41,23 @@ struct AlgebraEvalOptions {
   size_t adom_budget = 10'000'000;
 };
 
-// Evaluates `plan`. Fails (without evaluating) if the plan references
-// unknown relations/functions or uses them with the wrong arity, and at
-// runtime only if an adom closure exceeds its budget.
+// Evaluates `plan` through the physical execution layer. Fails (without
+// evaluating) if the plan references unknown relations/functions or uses
+// them with the wrong arity, and at runtime only if an adom closure
+// exceeds its budget.
 StatusOr<Relation> EvaluateAlgebra(const AstContext& ctx, const AlgExpr* plan,
                                    const Database& db,
                                    const FunctionRegistry& registry,
                                    AlgebraEvalStats* stats = nullptr,
                                    const AlgebraEvalOptions& options = {});
+
+// The pre-physical-layer recursive interpreter, kept as a differential
+// oracle (tests/exec_test.cc). Same contract as EvaluateAlgebra; does not
+// fill tuple_copies.
+StatusOr<Relation> EvaluateAlgebraLegacy(
+    const AstContext& ctx, const AlgExpr* plan, const Database& db,
+    const FunctionRegistry& registry, AlgebraEvalStats* stats = nullptr,
+    const AlgebraEvalOptions& options = {});
 
 }  // namespace emcalc
 

@@ -98,8 +98,10 @@ const AlgExpr* RewriteImpl(AlgebraFactory& f, RewriteCache& cache,
       }
       if (in->kind() == AlgKind::kJoin) {
         // Fold the selection into the join's condition set (both evaluate
-        // over the same concatenated schema); equality conditions then
-        // become hash-join keys.
+        // over the same concatenated schema). This is what makes the
+        // physical lowering pass (src/exec/lower.cc) see the equality
+        // conditions and choose a HashJoin instead of a NestedLoopJoin
+        // followed by a filter.
         std::vector<AlgCondition> merged(in->conds().begin(),
                                          in->conds().end());
         merged.insert(merged.end(), plan->conds().begin(),

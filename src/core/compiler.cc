@@ -4,6 +4,7 @@
 
 #include "src/algebra/optimizer.h"
 #include "src/algebra/printer.h"
+#include "src/exec/lower.h"
 #include "src/calculus/analysis.h"
 #include "src/calculus/parser.h"
 #include "src/calculus/printer.h"
@@ -29,6 +30,23 @@ StatusOr<Relation> CompiledQuery::Run(const Database& db,
                                       AlgebraEvalStats* stats) const {
   return EvaluateAlgebra(owner_->ctx(), translation_.plan, db,
                          owner_->functions(), stats);
+}
+
+StatusOr<Relation> CompiledQuery::RunWithProfile(const Database& db,
+                                                 ExecProfile* profile) const {
+  auto physical = Lower(owner_->ctx(), translation_.plan, owner_->functions());
+  if (!physical.ok()) return physical.status();
+  return physical->ExecuteToRelation(db, profile);
+}
+
+StatusOr<std::string> CompiledQuery::ExplainAnalyze(const Database& db) const {
+  ExecProfile profile;
+  auto answer = RunWithProfile(db, &profile);
+  if (!answer.ok()) return answer.status();
+  std::string out = "plan: " + PlanString() + "\n";
+  out += "answer rows: " + std::to_string(answer->size()) + "\n";
+  out += ExecProfileToString(profile);
+  return out;
 }
 
 Compiler::Compiler() : Compiler(BuiltinFunctions()) {}

@@ -20,6 +20,7 @@
 #include "src/base/status.h"
 #include "src/calculus/ast.h"
 #include "src/calculus/views.h"
+#include "src/exec/physical.h"
 #include "src/storage/database.h"
 #include "src/storage/interpretation.h"
 #include "src/translate/pipeline.h"
@@ -41,8 +42,19 @@ class CompiledQuery {
   std::string PlanTreeString() const;
 
   // Executes the plan against `db` using the owning compiler's functions.
+  // The plan is lowered to the physical execution layer (src/exec/) and
+  // run there; `stats` receives the flat totals of the execution profile.
   StatusOr<Relation> Run(const Database& db,
                          AlgebraEvalStats* stats = nullptr) const;
+
+  // Executes and additionally fills `profile` with the per-operator
+  // statistics tree (rows in/out, hash build/probe counts, wall time).
+  StatusOr<Relation> RunWithProfile(const Database& db,
+                                    ExecProfile* profile) const;
+
+  // EXPLAIN ANALYZE: executes against `db` and renders the per-operator
+  // profile as a multi-line report.
+  StatusOr<std::string> ExplainAnalyze(const Database& db) const;
 
  private:
   friend class Compiler;

@@ -1,0 +1,243 @@
+#include "src/exec/lower.h"
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/base/check.h"
+
+namespace emcalc {
+namespace {
+
+// True if `e` references only left columns (side 0) / right columns
+// (side 1) of a join with the given split point.
+bool OnSide(const ScalarExpr* e, int split, int side) {
+  switch (e->kind()) {
+    case ScalarExpr::Kind::kCol:
+      return side == 0 ? e->col() < split : e->col() >= split;
+    case ScalarExpr::Kind::kConst:
+      return true;
+    case ScalarExpr::Kind::kApply:
+      for (const ScalarExpr* a : e->args()) {
+        if (!OnSide(a, split, side)) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+class Lowerer {
+ public:
+  Lowerer(const AstContext& ctx, const FunctionRegistry& registry,
+          const ExecOptions& options)
+      : ctx_(ctx), registry_(registry) {
+    plan_.ctx_ = &ctx;
+    plan_.registry_ = &registry;
+    plan_.options_ = options;
+  }
+
+  StatusOr<PhysicalPlan> Lower(const AlgExpr* root) {
+    CountRefs(root);
+    auto op = LowerNode(root);
+    if (!op.ok()) return op.status();
+    plan_.root_ = *op;
+    return std::move(plan_);
+  }
+
+ private:
+  PhysicalOp* NewOp(PhysOpKind kind, int arity) {
+    auto op = std::make_unique<PhysicalOp>();
+    op->kind = kind;
+    op->arity = arity;
+    op->id = static_cast<int>(plan_.ops_.size());
+    plan_.ops_.push_back(std::move(op));
+    return plan_.ops_.back().get();
+  }
+
+  // Counts how many parents each logical node has; nodes referenced more
+  // than once get a Materialize so shared work runs once.
+  void CountRefs(const AlgExpr* node) {
+    if (++refs_[node] > 1) return;  // children already counted once
+    switch (node->kind()) {
+      case AlgKind::kProject:
+      case AlgKind::kSelect:
+        CountRefs(node->input());
+        break;
+      case AlgKind::kJoin:
+      case AlgKind::kUnion:
+      case AlgKind::kDiff:
+        CountRefs(node->left());
+        CountRefs(node->right());
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Resolves a scalar expression's function applications, binding them
+  // into the plan's function table.
+  Status ResolveExpr(const ScalarExpr* e) {
+    if (e->kind() == ScalarExpr::Kind::kApply) {
+      std::string name(ctx_.symbols().Name(e->fn()));
+      auto f = registry_.Get(name, static_cast<int>(e->args().size()));
+      if (!f.ok()) return f.status();
+      plan_.fns_.emplace(e->fn(), *f);
+      for (const ScalarExpr* a : e->args()) {
+        if (Status s = ResolveExpr(a); !s.ok()) return s;
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status ResolveConds(std::span<const AlgCondition> conds) {
+    for (const AlgCondition& c : conds) {
+      if (Status s = ResolveExpr(c.lhs); !s.ok()) return s;
+      if (Status s = ResolveExpr(c.rhs); !s.ok()) return s;
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<const PhysicalOp*> LowerNode(const AlgExpr* node) {
+    auto it = memo_.find(node);
+    if (it != memo_.end()) return it->second;
+    auto lowered = LowerUnshared(node);
+    if (!lowered.ok()) return lowered;
+    const PhysicalOp* op = *lowered;
+    auto ref = refs_.find(node);
+    int consumers = ref == refs_.end() ? 1 : ref->second;
+    if (consumers > 1) {
+      PhysicalOp* mat = NewOp(PhysOpKind::kMaterialize, node->arity());
+      mat->left = op;
+      mat->memo_slot = plan_.num_memo_slots_++;
+      mat->consumers = consumers;
+      op = mat;
+    }
+    memo_.emplace(node, op);
+    return op;
+  }
+
+  StatusOr<const PhysicalOp*> LowerUnshared(const AlgExpr* node) {
+    switch (node->kind()) {
+      case AlgKind::kRel: {
+        PhysicalOp* op = NewOp(PhysOpKind::kScan, node->arity());
+        op->rel_name = std::string(ctx_.symbols().Name(node->rel()));
+        return op;
+      }
+      case AlgKind::kProject: {
+        for (const ScalarExpr* e : node->exprs()) {
+          if (Status s = ResolveExpr(e); !s.ok()) return s;
+        }
+        auto in = LowerNode(node->input());
+        if (!in.ok()) return in;
+        PhysicalOp* op = NewOp(PhysOpKind::kProjectMap, node->arity());
+        op->exprs.assign(node->exprs().begin(), node->exprs().end());
+        op->left = *in;
+        return op;
+      }
+      case AlgKind::kSelect: {
+        if (Status s = ResolveConds(node->conds()); !s.ok()) return s;
+        auto in = LowerNode(node->input());
+        if (!in.ok()) return in;
+        PhysicalOp* op = NewOp(PhysOpKind::kFilterSelect, node->arity());
+        op->conds.assign(node->conds().begin(), node->conds().end());
+        op->left = *in;
+        return op;
+      }
+      case AlgKind::kJoin:
+        return LowerJoin(node);
+      case AlgKind::kUnion:
+      case AlgKind::kDiff: {
+        auto l = LowerNode(node->left());
+        if (!l.ok()) return l;
+        auto r = LowerNode(node->right());
+        if (!r.ok()) return r;
+        PhysicalOp* op = NewOp(node->kind() == AlgKind::kUnion
+                                   ? PhysOpKind::kUnionMerge
+                                   : PhysOpKind::kDiffAnti,
+                               node->arity());
+        op->left = *l;
+        op->right = *r;
+        return op;
+      }
+      case AlgKind::kUnit: {
+        PhysicalOp* op = NewOp(PhysOpKind::kSingleton, 0);
+        op->unit = true;
+        return op;
+      }
+      case AlgKind::kEmpty:
+        return NewOp(PhysOpKind::kSingleton, node->arity());
+      case AlgKind::kAdom: {
+        PhysicalOp* op = NewOp(PhysOpKind::kAdomScan, 1);
+        op->adom_level = node->adom_level();
+        for (Symbol fn : node->adom_fns()) {
+          std::string name(ctx_.symbols().Name(fn));
+          const ScalarFunction* f = registry_.Find(name);
+          if (f == nullptr) {
+            return NotFoundError("unknown scalar function '" + name + "'");
+          }
+          op->adom_fns.emplace_back(std::move(name), f->arity);
+        }
+        for (uint32_t id : node->adom_consts()) {
+          op->adom_consts.push_back(ctx_.ConstantAt(id));
+        }
+        return op;
+      }
+    }
+    return InternalError("unhandled algebra node kind in lowering");
+  }
+
+  // Joins: partition conditions into hashable equi-keys (one side from
+  // each input) and residual conditions; a HashJoin is chosen only when at
+  // least one key exists.
+  StatusOr<const PhysicalOp*> LowerJoin(const AlgExpr* node) {
+    if (Status s = ResolveConds(node->conds()); !s.ok()) return s;
+    auto l = LowerNode(node->left());
+    if (!l.ok()) return l;
+    auto r = LowerNode(node->right());
+    if (!r.ok()) return r;
+
+    int split = node->left()->arity();
+    std::vector<PhysicalOp::KeyPair> keys;
+    std::vector<AlgCondition> residual;
+    for (const AlgCondition& c : node->conds()) {
+      if (c.op == AlgCompareOp::kEq && OnSide(c.lhs, split, 0) &&
+          OnSide(c.rhs, split, 1)) {
+        keys.push_back({c.lhs, c.rhs});
+      } else if (c.op == AlgCompareOp::kEq && OnSide(c.rhs, split, 0) &&
+                 OnSide(c.lhs, split, 1)) {
+        keys.push_back({c.rhs, c.lhs});
+      } else {
+        residual.push_back(c);
+      }
+    }
+
+    bool hash = !keys.empty();
+    PhysicalOp* op = NewOp(
+        hash ? PhysOpKind::kHashJoin : PhysOpKind::kNestedLoopJoin,
+        node->arity());
+    op->left = *l;
+    op->right = *r;
+    op->split = split;
+    op->keys = std::move(keys);
+    op->conds = std::move(residual);  // == all conditions when not hashing
+    return op;
+  }
+
+  const AstContext& ctx_;
+  const FunctionRegistry& registry_;
+  PhysicalPlan plan_;
+  std::unordered_map<const AlgExpr*, int> refs_;
+  std::unordered_map<const AlgExpr*, const PhysicalOp*> memo_;
+};
+
+StatusOr<PhysicalPlan> Lower(const AstContext& ctx, const AlgExpr* plan,
+                             const FunctionRegistry& registry,
+                             const ExecOptions& options) {
+  Lowerer lowerer(ctx, registry, options);
+  return lowerer.Lower(plan);
+}
+
+}  // namespace emcalc

@@ -1,0 +1,40 @@
+// Lowering: logical extended-algebra plans to physical operator trees.
+//
+// Mapping (see physical.h for the operator inventory):
+//   kRel     -> Scan            kUnion -> UnionMerge
+//   kProject -> ProjectMap      kDiff  -> DiffAnti
+//   kSelect  -> FilterSelect    kUnit  -> Singleton(unit)
+//   kJoin    -> HashJoin when at least one condition is an equality with
+//               one side per input (remaining conditions become the join's
+//               residual filter); NestedLoopJoin otherwise
+//   kEmpty   -> Singleton(empty)
+//   kAdom    -> AdomScan
+//
+// Logical plans are DAGs (the translator shares context subplans between a
+// difference's two sides and among union branches); every node with more
+// than one parent is wrapped in a Materialize so its result is computed
+// once and then shared by pointer.
+//
+// Lowering resolves every scalar function against `registry` (errors are
+// reported here, before execution); relation bindings are validated per
+// execution, since the same plan may run against many databases.
+#ifndef EMCALC_EXEC_LOWER_H_
+#define EMCALC_EXEC_LOWER_H_
+
+#include "src/algebra/ast.h"
+#include "src/base/status.h"
+#include "src/calculus/ast.h"
+#include "src/exec/physical.h"
+#include "src/storage/interpretation.h"
+
+namespace emcalc {
+
+// Lowers `plan` into an executable physical plan. `ctx` and `registry`
+// must outlive the returned plan.
+StatusOr<PhysicalPlan> Lower(const AstContext& ctx, const AlgExpr* plan,
+                             const FunctionRegistry& registry,
+                             const ExecOptions& options = {});
+
+}  // namespace emcalc
+
+#endif  // EMCALC_EXEC_LOWER_H_

@@ -1,0 +1,466 @@
+#include "src/exec/physical.h"
+
+#include <chrono>
+#include <cstdio>
+#include <optional>
+
+#include "src/base/check.h"
+#include "src/storage/adom.h"
+
+namespace emcalc {
+namespace {
+
+// A tuple logically formed by concatenating `left` and `right` (either may
+// be null for a plain single-tuple view).
+struct TupleView {
+  const Tuple* left;
+  const Tuple* right;
+
+  const Value& at(int i) const {
+    int ln = left == nullptr ? 0 : static_cast<int>(left->size());
+    if (i < ln) return (*left)[i];
+    return (*right)[i - ln];
+  }
+};
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const char* PhysOpKindName(PhysOpKind kind) {
+  switch (kind) {
+    case PhysOpKind::kScan: return "Scan";
+    case PhysOpKind::kProjectMap: return "ProjectMap";
+    case PhysOpKind::kFilterSelect: return "FilterSelect";
+    case PhysOpKind::kHashJoin: return "HashJoin";
+    case PhysOpKind::kNestedLoopJoin: return "NestedLoopJoin";
+    case PhysOpKind::kUnionMerge: return "UnionMerge";
+    case PhysOpKind::kDiffAnti: return "DiffAnti";
+    case PhysOpKind::kAdomScan: return "AdomScan";
+    case PhysOpKind::kSingleton: return "Singleton";
+    case PhysOpKind::kMaterialize: return "Materialize";
+  }
+  return "?";
+}
+
+// Per-execution mutable state: one stats slot per operator and one cache
+// slot per Materialize. The plan itself stays immutable.
+struct ExecContext {
+  const PhysicalPlan& plan;
+  const Database& db;
+  std::vector<OpStats> stats;
+  std::vector<std::optional<RelationPtr>> memo;
+
+  ExecContext(const PhysicalPlan& p, const Database& d)
+      : plan(p), db(d), stats(p.ops_.size()),
+        memo(static_cast<size_t>(p.num_memo_slots_)) {}
+
+  // The value flowing between operators: `rel` is always set; `owned` is
+  // set iff this operator freshly built the relation and nothing else
+  // holds a reference — the parent may then steal its storage.
+  struct Value_ {
+    RelationPtr rel;
+    std::shared_ptr<Relation> owned;
+  };
+
+  StatusOr<Value_> Run(const PhysicalOp* op);
+
+  Value EvalExpr(const ScalarExpr* e, const TupleView& view, OpStats& s);
+  bool CondsHold(std::span<const AlgCondition> conds, const TupleView& view,
+                 OpStats& s);
+};
+
+Value ExecContext::EvalExpr(const ScalarExpr* e, const TupleView& view,
+                            OpStats& s) {
+  switch (e->kind()) {
+    case ScalarExpr::Kind::kCol:
+      return view.at(e->col());
+    case ScalarExpr::Kind::kConst:
+      return plan.ctx_->ConstantAt(e->const_id());
+    case ScalarExpr::Kind::kApply: {
+      std::vector<Value> args;
+      args.reserve(e->args().size());
+      for (const ScalarExpr* a : e->args()) {
+        args.push_back(EvalExpr(a, view, s));
+      }
+      ++s.function_calls;
+      auto it = plan.fns_.find(e->fn());
+      EMCALC_CHECK(it != plan.fns_.end());  // resolved at lowering
+      return it->second->fn(args);
+    }
+  }
+  return Value();
+}
+
+bool ExecContext::CondsHold(std::span<const AlgCondition> conds,
+                            const TupleView& view, OpStats& s) {
+  for (const AlgCondition& c : conds) {
+    Value l = EvalExpr(c.lhs, view, s);
+    Value r = EvalExpr(c.rhs, view, s);
+    bool holds = false;
+    switch (c.op) {
+      case AlgCompareOp::kEq:
+        holds = l == r;
+        break;
+      case AlgCompareOp::kNe:
+        holds = l != r;
+        break;
+      case AlgCompareOp::kLt:
+        holds = l < r;
+        break;
+      case AlgCompareOp::kLe:
+        holds = l < r || l == r;
+        break;
+    }
+    if (!holds) return false;
+  }
+  return true;
+}
+
+StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
+  OpStats& s = stats[op->id];
+  ++s.invocations;
+  uint64_t start = NowNs();
+  // Wrap the per-kind result so every exit path records inclusive time.
+  auto done = [&](StatusOr<Value_> v) {
+    s.wall_ns += NowNs() - start;
+    return v;
+  };
+
+  switch (op->kind) {
+    case PhysOpKind::kScan: {
+      const Relation* rel = db.Find(op->rel_name);
+      EMCALC_CHECK(rel != nullptr);  // bindings validated before execution
+      s.rows_in += rel->size();
+      s.rows_out += rel->size();
+      // Borrow the database's storage: non-owning alias, zero copies.
+      return done(Value_{RelationPtr(RelationPtr(), rel), nullptr});
+    }
+    case PhysOpKind::kProjectMap: {
+      auto in = Run(op->left);
+      if (!in.ok()) return done(in.status());
+      auto out = std::make_shared<Relation>(op->arity);
+      out->Reserve(in->rel->size());
+      for (const Tuple& t : *in->rel) {
+        TupleView view{&t, nullptr};
+        Tuple row;
+        row.reserve(op->exprs.size());
+        for (const ScalarExpr* e : op->exprs) {
+          row.push_back(EvalExpr(e, view, s));
+        }
+        out->Insert(std::move(row));
+      }
+      s.rows_in += in->rel->size();
+      s.rows_out += out->size();
+      return done(Value_{out, out});
+    }
+    case PhysOpKind::kFilterSelect: {
+      auto in = Run(op->left);
+      if (!in.ok()) return done(in.status());
+      auto out = std::make_shared<Relation>(op->arity);
+      for (const Tuple& t : *in->rel) {
+        TupleView view{&t, nullptr};
+        if (CondsHold(op->conds, view, s)) {
+          out->Insert(t);
+          ++s.tuple_copies;
+        }
+      }
+      s.rows_in += in->rel->size();
+      s.rows_out += out->size();
+      return done(Value_{out, out});
+    }
+    case PhysOpKind::kHashJoin:
+    case PhysOpKind::kNestedLoopJoin: {
+      auto l = Run(op->left);
+      if (!l.ok()) return done(l.status());
+      auto r = Run(op->right);
+      if (!r.ok()) return done(r.status());
+      auto out = std::make_shared<Relation>(op->arity);
+      auto emit = [&](const Tuple& a, const Tuple& b) {
+        TupleView joined{&a, &b};
+        if (!op->conds.empty() && !CondsHold(op->conds, joined, s)) return;
+        Tuple row;
+        row.reserve(a.size() + b.size());
+        row.insert(row.end(), a.begin(), a.end());
+        row.insert(row.end(), b.begin(), b.end());
+        out->Insert(std::move(row));
+      };
+      if (op->kind == PhysOpKind::kNestedLoopJoin) {
+        for (const Tuple& a : *l->rel) {
+          for (const Tuple& b : *r->rel) emit(a, b);
+        }
+      } else {
+        // Build on the right input. Right-side key expressions are written
+        // against the concatenated schema, so evaluate them through a view
+        // with an empty left part of width `split`.
+        Tuple empty_left(static_cast<size_t>(op->split), Value());
+        auto key_hash = [](const std::vector<Value>& key) {
+          size_t h = 0xcbf29ce484222325ULL;
+          for (const Value& v : key) h = h * 1099511628211ULL ^ v.Hash();
+          return h;
+        };
+        std::unordered_map<
+            size_t, std::vector<std::pair<std::vector<Value>, const Tuple*>>>
+            buckets;
+        buckets.reserve(r->rel->size());
+        for (const Tuple& b : *r->rel) {
+          TupleView view{&empty_left, &b};
+          std::vector<Value> key;
+          key.reserve(op->keys.size());
+          for (const PhysicalOp::KeyPair& k : op->keys) {
+            key.push_back(EvalExpr(k.right_key, view, s));
+          }
+          buckets[key_hash(key)].emplace_back(std::move(key), &b);
+          ++s.build_rows;
+        }
+        for (const Tuple& a : *l->rel) {
+          TupleView view{&a, nullptr};
+          std::vector<Value> key;
+          key.reserve(op->keys.size());
+          for (const PhysicalOp::KeyPair& k : op->keys) {
+            key.push_back(EvalExpr(k.left_key, view, s));
+          }
+          ++s.hash_probes;
+          auto it = buckets.find(key_hash(key));
+          if (it == buckets.end()) continue;
+          for (const auto& [bkey, btuple] : it->second) {
+            if (bkey == key) emit(a, *btuple);
+          }
+        }
+      }
+      s.rows_in += l->rel->size() + r->rel->size();
+      s.rows_out += out->size();
+      return done(Value_{out, out});
+    }
+    case PhysOpKind::kUnionMerge: {
+      auto l = Run(op->left);
+      if (!l.ok()) return done(l.status());
+      auto r = Run(op->right);
+      if (!r.ok()) return done(r.status());
+      s.rows_in += l->rel->size() + r->rel->size();
+      uint64_t copies_before = Relation::TuplesCopied();
+      // Reuse an exclusively-owned input's storage when possible (union is
+      // symmetric); otherwise merge into fresh storage.
+      Relation merged(op->arity);
+      if (l->owned != nullptr) {
+        merged = std::move(*l->owned).UnionWith(*r->rel);
+      } else if (r->owned != nullptr) {
+        merged = std::move(*r->owned).UnionWith(*l->rel);
+      } else {
+        merged = l->rel->UnionWith(*r->rel);
+      }
+      s.tuple_copies += Relation::TuplesCopied() - copies_before;
+      auto out = std::make_shared<Relation>(std::move(merged));
+      s.rows_out += out->size();
+      return done(Value_{out, out});
+    }
+    case PhysOpKind::kDiffAnti: {
+      auto l = Run(op->left);
+      if (!l.ok()) return done(l.status());
+      auto r = Run(op->right);
+      if (!r.ok()) return done(r.status());
+      s.rows_in += l->rel->size() + r->rel->size();
+      uint64_t copies_before = Relation::TuplesCopied();
+      Relation diff(op->arity);
+      if (l->owned != nullptr) {
+        diff = std::move(*l->owned).DifferenceWith(*r->rel);
+      } else {
+        diff = l->rel->DifferenceWith(*r->rel);
+      }
+      s.tuple_copies += Relation::TuplesCopied() - copies_before;
+      auto out = std::make_shared<Relation>(std::move(diff));
+      s.rows_out += out->size();
+      return done(Value_{out, out});
+    }
+    case PhysOpKind::kAdomScan: {
+      ValueSet base = ActiveDomain(db);
+      for (const Value& v : op->adom_consts) base.push_back(v);
+      NormalizeValueSet(base);
+      auto closed =
+          TermClosure(std::move(base), op->adom_fns, *plan.registry_,
+                      op->adom_level, plan.options_.adom_budget);
+      if (!closed.ok()) return done(closed.status());
+      auto out = std::make_shared<Relation>(1);
+      out->Reserve(closed->size());
+      for (const Value& v : *closed) out->Insert({v});
+      s.rows_out += out->size();
+      return done(Value_{out, out});
+    }
+    case PhysOpKind::kSingleton: {
+      auto out = std::make_shared<Relation>(op->arity);
+      if (op->unit) {
+        out->Insert({});
+        s.rows_out += 1;
+      }
+      return done(Value_{out, out});
+    }
+    case PhysOpKind::kMaterialize: {
+      std::optional<RelationPtr>& slot =
+          memo[static_cast<size_t>(op->memo_slot)];
+      if (slot.has_value()) {
+        ++s.cache_hits;
+        // Hand out the cached pointer: sharing, not copying.
+        return done(Value_{*slot, nullptr});
+      }
+      auto in = Run(op->left);
+      if (!in.ok()) return done(in.status());
+      slot = in->rel;
+      return done(Value_{in->rel, nullptr});
+    }
+  }
+  return done(InternalError("unhandled physical operator"));
+}
+
+namespace {
+
+std::string OpDetail(const PhysicalOp* op) {
+  switch (op->kind) {
+    case PhysOpKind::kScan:
+      return op->rel_name;
+    case PhysOpKind::kProjectMap:
+      return "cols=" + std::to_string(op->exprs.size());
+    case PhysOpKind::kFilterSelect:
+      return "conds=" + std::to_string(op->conds.size());
+    case PhysOpKind::kHashJoin:
+      return "keys=" + std::to_string(op->keys.size()) +
+             (op->conds.empty()
+                  ? std::string()
+                  : " residual=" + std::to_string(op->conds.size()));
+    case PhysOpKind::kNestedLoopJoin:
+      return "conds=" + std::to_string(op->conds.size());
+    case PhysOpKind::kAdomScan:
+      return "level=" + std::to_string(op->adom_level) +
+             " fns=" + std::to_string(op->adom_fns.size());
+    case PhysOpKind::kSingleton:
+      return op->unit ? "unit" : "empty";
+    case PhysOpKind::kMaterialize:
+      return "consumers=" + std::to_string(op->consumers);
+    case PhysOpKind::kUnionMerge:
+    case PhysOpKind::kDiffAnti:
+      return "";
+  }
+  return "";
+}
+
+// Builds the profile tree. Shared Materialize subtrees are expanded once;
+// later references become stubs so the tree's totals count work once.
+ExecProfile BuildProfile(const PhysicalOp* op,
+                         const std::vector<OpStats>& stats,
+                         std::vector<bool>& visited) {
+  ExecProfile node;
+  node.op = op->kind;
+  node.detail = OpDetail(op);
+  node.arity = op->arity;
+  if (visited[static_cast<size_t>(op->id)]) {
+    node.shared_ref = true;
+    return node;
+  }
+  visited[static_cast<size_t>(op->id)] = true;
+  node.stats = stats[static_cast<size_t>(op->id)];
+  if (op->left != nullptr) {
+    node.children.push_back(BuildProfile(op->left, stats, visited));
+  }
+  if (op->right != nullptr) {
+    node.children.push_back(BuildProfile(op->right, stats, visited));
+  }
+  return node;
+}
+
+void SumInto(const ExecProfile& p, ExecTotals& totals) {
+  if (!p.shared_ref && p.op != PhysOpKind::kMaterialize) {
+    totals.rows_in += p.stats.rows_in;
+    totals.rows_out += p.stats.rows_out;
+  }
+  if (!p.shared_ref) {
+    totals.function_calls += p.stats.function_calls;
+    totals.hash_probes += p.stats.hash_probes;
+    totals.tuple_copies += p.stats.tuple_copies;
+  }
+  for (const ExecProfile& c : p.children) SumInto(c, totals);
+}
+
+void RenderProfile(const ExecProfile& p, int depth, std::string& out) {
+  out.append(static_cast<size_t>(depth) * 2, ' ');
+  out += PhysOpKindName(p.op);
+  if (!p.detail.empty()) out += "(" + p.detail + ")";
+  if (p.shared_ref) {
+    out += " [shared result; stats shown at first reference]\n";
+    return;
+  }
+  out += " arity=" + std::to_string(p.arity);
+  out += " rows_in=" + std::to_string(p.stats.rows_in);
+  out += " rows_out=" + std::to_string(p.stats.rows_out);
+  if (p.op == PhysOpKind::kHashJoin) {
+    out += " build=" + std::to_string(p.stats.build_rows);
+    out += " probes=" + std::to_string(p.stats.hash_probes);
+  }
+  if (p.stats.function_calls > 0) {
+    out += " fn_calls=" + std::to_string(p.stats.function_calls);
+  }
+  if (p.stats.tuple_copies > 0) {
+    out += " copies=" + std::to_string(p.stats.tuple_copies);
+  }
+  if (p.op == PhysOpKind::kMaterialize) {
+    out += " cache_hits=" + std::to_string(p.stats.cache_hits);
+  }
+  char time_buf[32];
+  std::snprintf(time_buf, sizeof(time_buf), " time=%.3fms",
+                static_cast<double>(p.stats.wall_ns) / 1e6);
+  out += time_buf;
+  out += "\n";
+  for (const ExecProfile& c : p.children) RenderProfile(c, depth + 1, out);
+}
+
+}  // namespace
+
+ExecTotals SumProfile(const ExecProfile& profile) {
+  ExecTotals totals;
+  SumInto(profile, totals);
+  return totals;
+}
+
+std::string ExecProfileToString(const ExecProfile& profile) {
+  std::string out;
+  RenderProfile(profile, 0, out);
+  return out;
+}
+
+StatusOr<PhysicalPlan::Result> PhysicalPlan::Execute(
+    const Database& db, ExecProfile* profile) const {
+  // Validate every Scan binding up front so a broken plan fails before any
+  // operator runs (mirrors the legacy evaluator's Validate pass).
+  for (const std::unique_ptr<PhysicalOp>& op : ops_) {
+    if (op->kind != PhysOpKind::kScan) continue;
+    auto rel = db.Get(op->rel_name);
+    if (!rel.ok()) return rel.status();
+    if ((*rel)->arity() != op->arity) {
+      return InvalidArgumentError(
+          "plan expects relation '" + op->rel_name + "' with arity " +
+          std::to_string(op->arity) + ", instance has " +
+          std::to_string((*rel)->arity()));
+    }
+  }
+  ExecContext exec(*this, db);
+  auto result = exec.Run(root_);
+  if (!result.ok()) return result.status();
+  if (profile != nullptr) {
+    std::vector<bool> visited(ops_.size(), false);
+    *profile = BuildProfile(root_, exec.stats, visited);
+  }
+  return Result{result->rel, result->owned};
+}
+
+StatusOr<Relation> PhysicalPlan::ExecuteToRelation(
+    const Database& db, ExecProfile* profile) const {
+  auto result = Execute(db, profile);
+  if (!result.ok()) return result.status();
+  if (result->owned != nullptr) return std::move(*result->owned);
+  return *result->relation;  // borrowed (scan/materialized): copy out
+}
+
+}  // namespace emcalc

@@ -1,0 +1,201 @@
+// The physical execution layer: logical algebra plans (src/algebra/ast.h)
+// are lowered (src/exec/lower.h) into trees of physical operators that
+// exchange relations by shared ownership (std::shared_ptr<const Relation>)
+// instead of by value. Each operator records runtime statistics — rows
+// in/out, hash build/probe counts, tuples copied, wall time — into an
+// ExecProfile tree that the explain machinery renders EXPLAIN ANALYZE-
+// style and that the legacy AlgebraEvalStats counters are aggregated from.
+//
+// Operator inventory:
+//   Scan           base-relation scan (borrows the Database's storage)
+//   ProjectMap     extended projection: one scalar program per output column
+//   FilterSelect   selection by compiled conditions
+//   HashJoin       equi-join: build on the right input, probe with the left
+//   NestedLoopJoin fallback join when no equality key exists
+//   UnionMerge     set union (storage-reusing when an input is exclusive)
+//   DiffAnti       set difference (in-place when the left is exclusive)
+//   AdomScan       term^k closure of the active domain (AB88 baseline)
+//   Singleton      unit / empty constant relations
+//   Materialize    caches a shared subplan's result; plans are DAGs and
+//                  every extra consumer gets the cached pointer, not a copy
+#ifndef EMCALC_EXEC_PHYSICAL_H_
+#define EMCALC_EXEC_PHYSICAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/algebra/ast.h"
+#include "src/base/status.h"
+#include "src/storage/database.h"
+#include "src/storage/interpretation.h"
+#include "src/storage/relation.h"
+
+namespace emcalc {
+
+// Shared-ownership relation handle exchanged between operators. A Scan's
+// result borrows the Database's storage (non-owning alias), so handles must
+// not outlive the Database they were executed against.
+using RelationPtr = std::shared_ptr<const Relation>;
+
+// Physical operator tags.
+enum class PhysOpKind : uint8_t {
+  kScan,
+  kProjectMap,
+  kFilterSelect,
+  kHashJoin,
+  kNestedLoopJoin,
+  kUnionMerge,
+  kDiffAnti,
+  kAdomScan,
+  kSingleton,
+  kMaterialize,
+};
+
+// Stable display name, e.g. "HashJoin".
+const char* PhysOpKindName(PhysOpKind kind);
+
+// Runtime statistics of one operator over one execution.
+struct OpStats {
+  uint64_t invocations = 0;    // times the operator was entered
+  uint64_t rows_in = 0;        // input tuples consumed
+  uint64_t rows_out = 0;       // output tuples produced
+  uint64_t build_rows = 0;     // hash-join build-side rows
+  uint64_t hash_probes = 0;    // hash-join probe lookups
+  uint64_t function_calls = 0; // scalar function applications
+  uint64_t tuple_copies = 0;   // existing tuples copied into the output
+  uint64_t cache_hits = 0;     // Materialize results served from cache
+  uint64_t wall_ns = 0;        // inclusive wall time (children included)
+};
+
+// One node of the per-operator statistics tree. A Materialize that feeds
+// several consumers appears once with its subtree; later references render
+// as a stub child marked shared.
+struct ExecProfile {
+  PhysOpKind op = PhysOpKind::kSingleton;
+  std::string detail;  // operator-specific: relation name, key count, ...
+  int arity = 0;
+  bool shared_ref = false;  // repeat reference to a materialized subplan
+  OpStats stats;
+  std::vector<ExecProfile> children;
+};
+
+// Flat totals over a profile tree (the legacy AlgebraEvalStats view).
+// Materialize nodes contribute no row counts: their child already counted
+// the work once, matching the legacy evaluator's memoization accounting.
+struct ExecTotals {
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  uint64_t function_calls = 0;
+  uint64_t hash_probes = 0;
+  uint64_t tuple_copies = 0;
+};
+ExecTotals SumProfile(const ExecProfile& profile);
+
+// EXPLAIN ANALYZE-style multi-line rendering:
+//   HashJoin(keys=2) arity=5 rows_in=150 rows_out=40 build=50 probes=100
+//   time=0.12ms
+std::string ExecProfileToString(const ExecProfile& profile);
+
+// Execution knobs.
+struct ExecOptions {
+  // Budget for AdomScan term closures (values). The direct translation
+  // never emits kAdom; only the AB88-style baseline does.
+  size_t adom_budget = 10'000'000;
+};
+
+// A physical operator node. Like AlgExpr this is a tagged struct consumed
+// by kind-switches; only the fields of the node's kind are meaningful.
+// Nodes are owned by their PhysicalPlan and immutable after lowering; all
+// per-execution state lives in the execution context, so one plan can be
+// executed repeatedly (and concurrently) against different databases.
+struct PhysicalOp {
+  PhysOpKind kind = PhysOpKind::kSingleton;
+  int arity = 0;
+  int id = 0;  // index of this op's stats slot
+  const PhysicalOp* left = nullptr;   // input / probe side
+  const PhysicalOp* right = nullptr;  // build side / second input
+
+  // kScan: relation name (resolved against the Database at execution).
+  std::string rel_name;
+  // kProjectMap: one expression per output column.
+  std::vector<const ScalarExpr*> exprs;
+  // kFilterSelect / join residuals: conditions over the (concatenated)
+  // schema.
+  std::vector<AlgCondition> conds;
+  // kHashJoin: equi-key pairs; left_key evaluates over the left tuple,
+  // right_key over the concatenated schema with an empty left part.
+  struct KeyPair {
+    const ScalarExpr* left_key = nullptr;
+    const ScalarExpr* right_key = nullptr;
+  };
+  std::vector<KeyPair> keys;
+  int split = 0;  // joins: left input arity
+
+  // kAdomScan: closure level, functions (name, arity), extra constants.
+  int adom_level = 0;
+  std::vector<std::pair<std::string, int>> adom_fns;
+  std::vector<Value> adom_consts;
+
+  // kSingleton: whether the relation contains the empty tuple (unit).
+  bool unit = false;
+
+  // kMaterialize: index of the cache slot; `consumers` is the number of
+  // plan edges that reference this node.
+  int memo_slot = -1;
+  int consumers = 0;
+};
+
+// An executable physical plan: the lowered operator DAG plus everything
+// resolved at lowering time (scalar function bindings, constants). The
+// AstContext and FunctionRegistry passed to Lower() must outlive the plan.
+class PhysicalPlan {
+ public:
+  PhysicalPlan() = default;
+  PhysicalPlan(PhysicalPlan&&) = default;
+  PhysicalPlan& operator=(PhysicalPlan&&) = default;
+  PhysicalPlan(const PhysicalPlan&) = delete;
+  PhysicalPlan& operator=(const PhysicalPlan&) = delete;
+
+  // The answer of one execution. `relation` is always set on success;
+  // `owned` is additionally set when the result is exclusively owned by
+  // the caller (not borrowed from the Database or a materialize cache), in
+  // which case it may be moved out instead of copied.
+  struct Result {
+    RelationPtr relation;
+    std::shared_ptr<Relation> owned;
+  };
+
+  // Executes against `db`. Scan bindings (relation existence and arity)
+  // are validated before any operator runs. When `profile` is non-null it
+  // is overwritten with this execution's per-operator statistics tree.
+  StatusOr<Result> Execute(const Database& db,
+                           ExecProfile* profile = nullptr) const;
+
+  // Convenience: execute and return the answer by value (moving when the
+  // result is exclusively owned).
+  StatusOr<Relation> ExecuteToRelation(const Database& db,
+                                       ExecProfile* profile = nullptr) const;
+
+  const PhysicalOp* root() const { return root_; }
+  int NumOperators() const { return static_cast<int>(ops_.size()); }
+
+ private:
+  friend class Lowerer;
+  friend struct ExecContext;
+
+  std::vector<std::unique_ptr<PhysicalOp>> ops_;
+  const PhysicalOp* root_ = nullptr;
+  const AstContext* ctx_ = nullptr;  // constant pool for kConst expressions
+  const FunctionRegistry* registry_ = nullptr;  // AdomScan term closures
+  std::unordered_map<Symbol, const ScalarFunction*> fns_;
+  int num_memo_slots_ = 0;
+  ExecOptions options_;
+};
+
+}  // namespace emcalc
+
+#endif  // EMCALC_EXEC_PHYSICAL_H_

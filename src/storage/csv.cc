@@ -59,7 +59,12 @@ Status LoadCsv(Database& db, const std::string& name, std::istream& in) {
           std::to_string(arity) + " fields, got " +
           std::to_string(tuple.size()));
     }
-    if (Status s = db.Insert(name, std::move(tuple)); !s.ok()) return s;
+    if (Status s = db.Insert(name, std::move(tuple)); !s.ok()) {
+      // Insert validates tuple arity via Relation::TryInsert; surface the
+      // offending line instead of crashing on malformed input.
+      return InvalidArgumentError("line " + std::to_string(line_no) + ": " +
+                                  s.message());
+    }
   }
   return Status::Ok();
 }

@@ -21,11 +21,9 @@ Status Database::Insert(const std::string& name, Tuple t) {
   if (it == relations_.end()) {
     it = relations_.emplace(name, Relation(static_cast<int>(t.size()))).first;
   }
-  if (it->second.arity() != static_cast<int>(t.size())) {
-    return InvalidArgumentError("tuple arity " + std::to_string(t.size()) +
-                                " does not match relation '" + name + "'");
+  if (Status s = it->second.TryInsert(std::move(t)); !s.ok()) {
+    return InvalidArgumentError(s.message() + " ('" + name + "')");
   }
-  it->second.Insert(std::move(t));
   return Status::Ok();
 }
 

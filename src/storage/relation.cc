@@ -1,10 +1,57 @@
 #include "src/storage/relation.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "src/base/check.h"
 
 namespace emcalc {
+namespace {
+
+// Relaxed atomics: the counters are monotone instrumentation, never used
+// for synchronization.
+std::atomic<uint64_t> g_relation_copies{0};
+std::atomic<uint64_t> g_tuple_copies{0};
+
+void CountCopy(size_t tuples) {
+  g_relation_copies.fetch_add(1, std::memory_order_relaxed);
+  g_tuple_copies.fetch_add(tuples, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+uint64_t Relation::CopiesMade() {
+  return g_relation_copies.load(std::memory_order_relaxed);
+}
+
+uint64_t Relation::TuplesCopied() {
+  return g_tuple_copies.load(std::memory_order_relaxed);
+}
+
+Relation::Relation(const Relation& other)
+    : arity_(other.arity_), dirty_(other.dirty_), tuples_(other.tuples_) {
+  CountCopy(tuples_.size());
+}
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this == &other) return *this;
+  arity_ = other.arity_;
+  dirty_ = other.dirty_;
+  tuples_ = other.tuples_;
+  CountCopy(tuples_.size());
+  return *this;
+}
+
+Status Relation::TryInsert(Tuple t) {
+  if (static_cast<int>(t.size()) != arity_) {
+    return InvalidArgumentError("tuple arity " + std::to_string(t.size()) +
+                                " does not match relation arity " +
+                                std::to_string(arity_));
+  }
+  tuples_.push_back(std::move(t));
+  dirty_ = true;
+  return Status::Ok();
+}
 
 void Relation::Insert(Tuple t) {
   EMCALC_CHECK_MSG(static_cast<int>(t.size()) == arity_,
@@ -25,23 +72,61 @@ bool Relation::Contains(const Tuple& t) const {
   return std::binary_search(tuples_.begin(), tuples_.end(), t);
 }
 
-Relation Relation::UnionWith(const Relation& other) const {
+Relation Relation::UnionWith(const Relation& other) const& {
   EMCALC_CHECK(arity_ == other.arity_);
   Normalize();
   other.Normalize();
   Relation out(arity_);
   std::set_union(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
                  other.tuples_.end(), std::back_inserter(out.tuples_));
+  g_tuple_copies.fetch_add(out.tuples_.size(), std::memory_order_relaxed);
   return out;
 }
 
-Relation Relation::DifferenceWith(const Relation& other) const {
+Relation Relation::UnionWith(const Relation& other) && {
+  EMCALC_CHECK(arity_ == other.arity_);
+  Normalize();
+  other.Normalize();
+  // Keep this side's storage: append the other side's tuples and merge in
+  // place. Only |other| tuples are copied (vs |this| + |other| above).
+  Relation out(arity_);
+  out.tuples_ = std::move(tuples_);
+  size_t mid = out.tuples_.size();
+  out.tuples_.insert(out.tuples_.end(), other.tuples_.begin(),
+                     other.tuples_.end());
+  std::inplace_merge(out.tuples_.begin(), out.tuples_.begin() + mid,
+                     out.tuples_.end());
+  out.tuples_.erase(std::unique(out.tuples_.begin(), out.tuples_.end()),
+                    out.tuples_.end());
+  g_tuple_copies.fetch_add(other.tuples_.size(), std::memory_order_relaxed);
+  return out;
+}
+
+Relation Relation::DifferenceWith(const Relation& other) const& {
   EMCALC_CHECK(arity_ == other.arity_);
   Normalize();
   other.Normalize();
   Relation out(arity_);
   std::set_difference(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
                       other.tuples_.end(), std::back_inserter(out.tuples_));
+  g_tuple_copies.fetch_add(out.tuples_.size(), std::memory_order_relaxed);
+  return out;
+}
+
+Relation Relation::DifferenceWith(const Relation& other) && {
+  EMCALC_CHECK(arity_ == other.arity_);
+  Normalize();
+  other.Normalize();
+  // Filter in place: no tuples are copied, survivors shift by move.
+  Relation out(arity_);
+  out.tuples_ = std::move(tuples_);
+  out.tuples_.erase(
+      std::remove_if(out.tuples_.begin(), out.tuples_.end(),
+                     [&other](const Tuple& t) {
+                       return std::binary_search(other.tuples_.begin(),
+                                                 other.tuples_.end(), t);
+                     }),
+      out.tuples_.end());
   return out;
 }
 

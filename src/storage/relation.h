@@ -4,9 +4,11 @@
 #ifndef EMCALC_STORAGE_RELATION_H_
 #define EMCALC_STORAGE_RELATION_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "src/base/status.h"
 #include "src/base/value.h"
 
 namespace emcalc {
@@ -19,6 +21,12 @@ using Tuple = std::vector<Value>;
 class Relation {
  public:
   explicit Relation(int arity) : arity_(arity) {}
+
+  // Copies are instrumented (see CopiesMade/TuplesCopied); moves are free.
+  Relation(const Relation& other);
+  Relation& operator=(const Relation& other);
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
 
   int arity() const { return arity_; }
   size_t size() const {
@@ -42,21 +50,41 @@ class Relation {
     return tuples_.end();
   }
 
-  // Inserts a tuple; aborts on arity mismatch. Amortized: tuples are
+  // Capacity hint for bulk inserts.
+  void Reserve(size_t n) { tuples_.reserve(n); }
+
+  // Inserts a tuple; error on arity mismatch. Amortized: tuples are
   // appended and normalized lazily on first read.
+  Status TryInsert(Tuple t);
+
+  // Inserts a tuple whose arity the caller has already validated; aborts
+  // on mismatch (internal evaluator paths where a mismatch is a bug, not
+  // bad input — external data goes through TryInsert).
   void Insert(Tuple t);
 
   // Membership test.
   bool Contains(const Tuple& t) const;
 
-  // Set algebra; arities must match.
-  Relation UnionWith(const Relation& other) const;
-  Relation DifferenceWith(const Relation& other) const;
+  // Set algebra; arities must match. The rvalue overloads reuse this
+  // relation's tuple storage instead of copying both sides into a fresh
+  // vector — the execution layer uses them to make union/difference chains
+  // copy-light.
+  Relation UnionWith(const Relation& other) const&;
+  Relation UnionWith(const Relation& other) &&;
+  Relation DifferenceWith(const Relation& other) const&;
+  Relation DifferenceWith(const Relation& other) &&;
 
   friend bool operator==(const Relation& a, const Relation& b);
 
   // Multi-line "(1, 'a')\n(2, 'b')" rendering, for tests and examples.
   std::string ToString() const;
+
+  // Process-wide copy instrumentation: whole-relation copies and tuples
+  // copied into new storage by relation copies and the lvalue set
+  // operations. The execution layer samples deltas around each operator to
+  // expose copy costs per operator; tests compare evaluator strategies.
+  static uint64_t CopiesMade();
+  static uint64_t TuplesCopied();
 
  private:
   void Normalize() const;

@@ -10,6 +10,10 @@
 // {x,y,z | R(x,y,z) and not S(y,z)} through an adom construction where the
 // direct translation produces R - project(..., join(..., R, S)).
 // Experiment E2 measures the difference.
+//
+// Evaluation: the emitted kAdom nodes lower to AdomScan operators in the
+// physical execution layer (src/exec/lower.h), which computes the term
+// closure under the plan's adom budget at run time.
 #ifndef EMCALC_TRANSLATE_ACTIVE_DOMAIN_H_
 #define EMCALC_TRANSLATE_ACTIVE_DOMAIN_H_
 

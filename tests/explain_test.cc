@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/explain.h"
+#include "src/storage/interpretation.h"
 
 namespace emcalc {
 namespace {
@@ -22,6 +23,29 @@ TEST(ExplainTest, SafeQueryFullReport) {
   std::string report = e->ToString();
   EXPECT_NE(report.find("em-allowed:        yes"), std::string::npos);
   EXPECT_NE(report.find("plan tree:"), std::string::npos);
+}
+
+TEST(ExplainTest, ExplainAnalyzeIncludesExecutionProfile) {
+  AstContext ctx;
+  Database db;
+  ASSERT_TRUE(db.Insert("R", {Value::Int(1), Value::Int(2),
+                              Value::Int(3)}).ok());
+  ASSERT_TRUE(db.Insert("S", {Value::Int(2), Value::Int(3)}).ok());
+  FunctionRegistry registry = BuiltinFunctions();
+  auto e = ExplainAnalyzeQuery(ctx, "{x, y, z | R(x, y, z) and not S(y, z)}",
+                               db, registry);
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ(e->answer_rows, 0u);  // the single R row matches S
+  std::string report = e->ToString();
+  EXPECT_NE(report.find("execution profile:"), std::string::npos) << report;
+  EXPECT_NE(report.find("rows_in="), std::string::npos) << report;
+  EXPECT_NE(report.find("rows_out="), std::string::npos) << report;
+  EXPECT_NE(report.find("time="), std::string::npos) << report;
+  // Rejected queries still explain, without a profile.
+  auto rejected = ExplainAnalyzeQuery(ctx, "{x | not R3(x)}", db, registry);
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_FALSE(rejected->em_allowed);
+  EXPECT_TRUE(rejected->exec_profile_text.empty());
 }
 
 TEST(ExplainTest, UnsafeQueryCarriesReason) {

@@ -46,6 +46,16 @@ TEST(CsvTest, ArityMismatchRejected) {
   EXPECT_NE(s.message().find("line 2"), std::string::npos);
 }
 
+TEST(CsvTest, ConflictingCatalogAritySurfacesError) {
+  // Importing into a pre-declared relation of another arity must produce a
+  // status, not a crash (the insert path goes through Relation::TryInsert).
+  Database db;
+  ASSERT_TRUE(db.AddRelation("R", 3).ok());
+  Status s = LoadCsvText(db, "R", "1,2\n");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
 TEST(CsvTest, MissingFileRejected) {
   Database db;
   EXPECT_FALSE(LoadCsvFile(db, "R", "/nonexistent/file.csv").ok());

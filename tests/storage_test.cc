@@ -2,6 +2,9 @@
 // domains, and term closures.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
+
 #include "src/calculus/parser.h"
 #include "src/storage/adom.h"
 #include "src/storage/database.h"
@@ -51,6 +54,66 @@ TEST(RelationTest, ZeroArity) {
   t.Insert({});
   EXPECT_EQ(t.size(), 1u);
   EXPECT_TRUE(t.Contains({}));
+}
+
+TEST(RelationTest, TryInsertRejectsArityMismatch) {
+  Relation r(2);
+  EXPECT_TRUE(r.TryInsert({Value::Int(1), Value::Int(2)}).ok());
+  Status s = r.TryInsert({Value::Int(1)});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  Status s3 = r.TryInsert({Value::Int(1), Value::Int(2), Value::Int(3)});
+  EXPECT_FALSE(s3.ok());
+  // Failed inserts leave the relation unchanged.
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, ReservePreservesContents) {
+  Relation r(1);
+  r.Insert({Value::Int(1)});
+  r.Reserve(1000);
+  r.Insert({Value::Int(2)});
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(RelationTest, MoveUnionMatchesCopyUnion) {
+  Relation a(1), b(1);
+  for (int i = 0; i < 6; ++i) a.Insert({Value::Int(i)});
+  for (int i = 4; i < 10; ++i) b.Insert({Value::Int(i)});
+  Relation expected = a.UnionWith(b);
+  Relation a2 = a;
+  uint64_t before = Relation::TuplesCopied();
+  Relation moved = std::move(a2).UnionWith(b);
+  // Only the right side's tuples are copied into the reused storage.
+  EXPECT_EQ(Relation::TuplesCopied() - before, b.size());
+  EXPECT_EQ(moved, expected);
+}
+
+TEST(RelationTest, MoveDifferenceMatchesCopyDifferenceWithoutCopies) {
+  Relation a(1), b(1);
+  for (int i = 0; i < 8; ++i) a.Insert({Value::Int(i)});
+  for (int i = 0; i < 8; i += 2) b.Insert({Value::Int(i)});
+  Relation expected = a.DifferenceWith(b);
+  Relation a2 = a;
+  uint64_t before = Relation::TuplesCopied();
+  Relation moved = std::move(a2).DifferenceWith(b);
+  EXPECT_EQ(Relation::TuplesCopied(), before);  // filtered in place
+  EXPECT_EQ(moved, expected);
+}
+
+TEST(RelationTest, CopyInstrumentationCountsCopies) {
+  Relation r(1);
+  r.Insert({Value::Int(1)});
+  r.Insert({Value::Int(2)});
+  EXPECT_EQ(r.size(), 2u);  // normalize before sampling
+  uint64_t copies_before = Relation::CopiesMade();
+  uint64_t tuples_before = Relation::TuplesCopied();
+  Relation c = r;
+  EXPECT_EQ(Relation::CopiesMade() - copies_before, 1u);
+  EXPECT_EQ(Relation::TuplesCopied() - tuples_before, 2u);
+  Relation m = std::move(c);  // moves are free
+  EXPECT_EQ(Relation::CopiesMade() - copies_before, 1u);
+  EXPECT_EQ(m.size(), 2u);
 }
 
 TEST(RelationTest, EqualityIgnoresInsertionOrder) {
