@@ -1,0 +1,196 @@
+// Experiment OBS1 — observability overhead guard. The span tracer must be
+// effectively free when disabled: a disabled Span is one relaxed atomic
+// load, so its cost, multiplied by the number of spans a query emits, must
+// stay below 2% of the query's wall time. This binary measures all three
+// quantities on the payroll workload and prints a PASS/FAIL verdict, and
+// appends the measurements to BENCH_obs.json (schema shared with
+// BENCH_exec.json via bench_util.h).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/compiler.h"
+#include "src/core/workload.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace {
+
+constexpr const char* kQueries[] = {
+    "{e, n | exists d, s (EMP(e, d, s) and n = net10(s))}",
+    "{e | exists d, s (EMP(e, d, s) and not exists b (BONUS(e, b)))}",
+    "{e, b | exists d, s (EMP(e, d, s) and BONUS(e, b))}",
+};
+
+emcalc::FunctionRegistry Functions() {
+  emcalc::FunctionRegistry reg = emcalc::BuiltinFunctions();
+  reg.Register("net10", 1, [](std::span<const emcalc::Value> a) {
+    int64_t v = a[0].is_int() ? a[0].AsInt() : 0;
+    return emcalc::Value::Int(v * 9 / 10);
+  });
+  return reg;
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Cost of one disabled Span (construct + destruct with no tracer
+// installed), averaged over a large loop. Expected: ~1ns, the relaxed
+// atomic load of the global tracer pointer.
+double DisabledSpanCostNs() {
+  emcalc::obs::Tracer* saved = emcalc::obs::GetTracer();
+  emcalc::obs::SetTracer(nullptr);
+  constexpr int kIters = 2'000'000;
+  double best = 1e18;
+  for (int round = 0; round < 3; ++round) {
+    uint64_t start = NowNs();
+    for (int i = 0; i < kIters; ++i) {
+      emcalc::obs::Span span("bench.disabled_span");
+      benchmark::DoNotOptimize(span.enabled());
+    }
+    best = std::min(best, static_cast<double>(NowNs() - start) / kIters);
+  }
+  emcalc::obs::SetTracer(saved);
+  return best;
+}
+
+uint64_t MedianRunNs(emcalc::CompiledQuery& q, emcalc::Database& db,
+                     int runs) {
+  std::vector<uint64_t> samples;
+  samples.reserve(static_cast<size_t>(runs));
+  for (int i = 0; i < runs; ++i) {
+    uint64_t start = NowNs();
+    auto r = q.Run(db);
+    benchmark::DoNotOptimize(r.ok());
+    samples.push_back(NowNs() - start);
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+void Report() {
+  emcalc::bench::Banner(
+      "OBS1: tracing overhead guard (payroll workload)",
+      "a disabled span costs one relaxed atomic load; total disabled-"
+      "tracing overhead stays under 2% of query wall time");
+  emcalc::obs::Tracer* saved = emcalc::obs::GetTracer();
+  emcalc::obs::SetTracer(nullptr);
+
+  double span_ns = DisabledSpanCostNs();
+  std::printf("disabled span cost: %.2f ns\n\n", span_ns);
+
+  emcalc::Compiler compiler(Functions());
+  emcalc::Database db = emcalc::MakePayrollInstance(10000, 8, 3);
+  bool all_pass = true;
+  for (const char* text : kQueries) {
+    auto q = compiler.Compile(text);
+    if (!q.ok()) {
+      std::printf("compile failed: %s\n", q.status().ToString().c_str());
+      all_pass = false;
+      continue;
+    }
+    // Span count per run: execute once with a local tracer installed.
+    emcalc::obs::Tracer tracer;
+    emcalc::obs::SetTracer(&tracer);
+    uint64_t enabled_ns = MedianRunNs(*q, db, 3);
+    size_t spans_per_run = tracer.size() / 3;
+    emcalc::obs::SetTracer(nullptr);
+
+    uint64_t disabled_ns = MedianRunNs(*q, db, 9);
+    double overhead_ns = span_ns * static_cast<double>(spans_per_run);
+    double overhead_pct =
+        100.0 * overhead_ns / static_cast<double>(disabled_ns);
+    bool pass = overhead_pct < 2.0;
+    all_pass = all_pass && pass;
+    std::printf(
+        "query: %s\n"
+        "  spans/run=%-5zu wall(disabled)=%9.3fms wall(enabled)=%9.3fms\n"
+        "  disabled-tracing overhead: %zu spans x %.2fns = %.1fus "
+        "(%.4f%% of wall) -> %s\n",
+        text, spans_per_run, static_cast<double>(disabled_ns) / 1e6,
+        static_cast<double>(enabled_ns) / 1e6, spans_per_run, span_ns,
+        overhead_ns / 1e3, overhead_pct, pass ? "PASS (<2%)" : "FAIL");
+
+    std::string fields = "\"bench\":\"obs_overhead\"";
+    fields += ",\"query\":\"" + emcalc::bench::JsonEscape(text) + "\"";
+    fields += ",\"variant\":\"overhead_guard\"";
+    fields += ",\"instance_rows\":10000";
+    fields += ",\"spans_per_run\":" + std::to_string(spans_per_run);
+    fields += ",\"span_cost_ns\":" + std::to_string(span_ns);
+    fields += ",\"wall_disabled_ns\":" + std::to_string(disabled_ns);
+    fields += ",\"wall_enabled_ns\":" + std::to_string(enabled_ns);
+    fields += ",\"overhead_pct\":" + std::to_string(overhead_pct);
+    fields += ",\"pass\":";
+    fields += pass ? "true" : "false";
+    emcalc::bench::AppendRecordLine("BENCH_obs.json", fields);
+  }
+  std::printf("\noverhead guard: %s\n\n", all_pass ? "PASS" : "FAIL");
+  emcalc::obs::SetTracer(saved);
+}
+
+void BM_SpanDisabled(benchmark::State& state) {
+  emcalc::obs::Tracer* saved = emcalc::obs::GetTracer();
+  emcalc::obs::SetTracer(nullptr);
+  for (auto _ : state) {
+    emcalc::obs::Span span("bench.disabled_span");
+    benchmark::DoNotOptimize(span.enabled());
+  }
+  emcalc::obs::SetTracer(saved);
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  emcalc::obs::Tracer* saved = emcalc::obs::GetTracer();
+  emcalc::obs::Tracer tracer;
+  emcalc::obs::SetTracer(&tracer);
+  for (auto _ : state) {
+    emcalc::obs::Span span("bench.enabled_span");
+    benchmark::DoNotOptimize(span.enabled());
+  }
+  emcalc::obs::SetTracer(saved);
+  state.counters["spans"] = static_cast<double>(tracer.size());
+}
+BENCHMARK(BM_SpanEnabled);
+
+void BM_RunTracing(benchmark::State& state) {
+  emcalc::Compiler compiler(Functions());
+  auto q = compiler.Compile(kQueries[0]);
+  if (!q.ok()) {
+    state.SkipWithError("compile");
+    return;
+  }
+  emcalc::Database db = emcalc::MakePayrollInstance(
+      static_cast<size_t>(state.range(0)), 8, 3);
+  emcalc::obs::Tracer* saved = emcalc::obs::GetTracer();
+  emcalc::obs::Tracer tracer;
+  emcalc::obs::SetTracer(state.range(1) != 0 ? &tracer : nullptr);
+  for (auto _ : state) {
+    auto r = q->Run(db);
+    if (!r.ok()) {
+      state.SkipWithError("run");
+      break;
+    }
+    benchmark::DoNotOptimize(r->size());
+    tracer.Clear();
+  }
+  emcalc::obs::SetTracer(saved);
+  state.counters["rows"] = static_cast<double>(state.range(0));
+  state.counters["traced"] = static_cast<double>(state.range(1));
+}
+BENCHMARK(BM_RunTracing)
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({10000, 0})
+    ->Args({10000, 1});
+
+}  // namespace
+
+EMCALC_BENCH_MAIN(Report)

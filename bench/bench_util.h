@@ -1,6 +1,12 @@
 // Shared helpers for the experiment binaries: a tiny report printer used
 // to emit the paper-claim vs measured tables before the google-benchmark
 // timing runs, plus machine-readable emission of execution profiles.
+//
+// Record files (BENCH_exec.json, BENCH_obs.json, ...) are JSON Lines —
+// one object per line, appended across binaries and re-runs. Every record
+// carries `schema` (kBenchSchemaVersion, bumped on layout changes) and a
+// `metrics` block (the process metrics-registry snapshot at emission
+// time), so records from different PRs stay machine-comparable.
 #ifndef EMCALC_BENCH_BENCH_UTIL_H_
 #define EMCALC_BENCH_BENCH_UTIL_H_
 
@@ -11,8 +17,16 @@
 #include <string>
 
 #include "src/exec/physical.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/query_log.h"
+#include "src/obs/trace.h"
 
 namespace emcalc::bench {
+
+// Version of the JSON-Lines record layout shared by all BENCH_*.json
+// files. v1: bare exec records; v2: adds schema + metrics snapshot.
+inline constexpr int kBenchSchemaVersion = 2;
 
 // Prints the experiment banner; every bench binary calls this first so the
 // combined bench_output.txt is self-describing.
@@ -24,18 +38,7 @@ inline void Banner(const char* experiment, const char* claim) {
 }
 
 inline std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c;
-    }
-  }
-  return out;
+  return obs::JsonEscape(s);
 }
 
 // Renders an ExecProfile subtree as a JSON object (nested children).
@@ -78,33 +81,46 @@ inline void ProfileToJson(const ExecProfile& p, std::string& out) {
   out += "}";
 }
 
-// Appends one record to BENCH_exec.json in the working directory. The file
-// is JSON Lines (one object per line) because several bench binaries
-// contribute records to the same file; re-runs append.
+// Appends one JSON-Lines record to `file`, completing `fields` (the
+// record's own "key":value pairs, comma-separated, no braces) with the
+// shared schema-version field and the current metrics snapshot.
+inline void AppendRecordLine(const std::string& file,
+                             const std::string& fields) {
+  std::string line = "{\"schema\":" + std::to_string(kBenchSchemaVersion);
+  line += "," + fields;
+  line += ",\"metrics\":" + obs::MetricsRegistry::Instance().JsonSnapshot();
+  line += "}\n";
+  std::ofstream out(file, std::ios::app);
+  out << line;
+}
+
+// Appends one execution record to BENCH_exec.json in the working
+// directory.
 inline void AppendExecRecord(const std::string& bench,
                              const std::string& query,
                              const std::string& variant, size_t instance_rows,
                              size_t answer_rows, const ExecProfile& profile) {
   ExecTotals totals = SumProfile(profile);
-  std::string line = "{\"bench\":\"" + JsonEscape(bench) + "\"";
-  line += ",\"query\":\"" + JsonEscape(query) + "\"";
-  line += ",\"variant\":\"" + JsonEscape(variant) + "\"";
-  line += ",\"instance_rows\":" + std::to_string(instance_rows);
-  line += ",\"answer_rows\":" + std::to_string(answer_rows);
-  line += ",\"tuples_scanned\":" + std::to_string(totals.rows_in);
-  line += ",\"tuples_produced\":" + std::to_string(totals.rows_out);
-  line += ",\"function_calls\":" + std::to_string(totals.function_calls);
-  line += ",\"tuple_copies\":" + std::to_string(totals.tuple_copies);
-  line += ",\"profile\":";
-  ProfileToJson(profile, line);
-  line += "}\n";
-  std::ofstream out("BENCH_exec.json", std::ios::app);
-  out << line;
+  std::string fields = "\"bench\":\"" + JsonEscape(bench) + "\"";
+  fields += ",\"query\":\"" + JsonEscape(query) + "\"";
+  fields += ",\"variant\":\"" + JsonEscape(variant) + "\"";
+  fields += ",\"instance_rows\":" + std::to_string(instance_rows);
+  fields += ",\"answer_rows\":" + std::to_string(answer_rows);
+  fields += ",\"tuples_scanned\":" + std::to_string(totals.rows_in);
+  fields += ",\"tuples_produced\":" + std::to_string(totals.rows_out);
+  fields += ",\"function_calls\":" + std::to_string(totals.function_calls);
+  fields += ",\"tuple_copies\":" + std::to_string(totals.tuple_copies);
+  fields += ",\"profile\":";
+  ProfileToJson(profile, fields);
+  AppendRecordLine("BENCH_exec.json", fields);
 }
 
-// Standard main: print the report, then run the registered benchmarks.
+// Standard main: honor the observability env vars (EMCALC_TRACE,
+// EMCALC_QUERY_LOG), print the report, then run the registered benchmarks.
 #define EMCALC_BENCH_MAIN(report_fn)                       \
   int main(int argc, char** argv) {                        \
+    ::emcalc::obs::InitTracingFromEnv();                   \
+    ::emcalc::obs::InitQueryLogFromEnv();                  \
     report_fn();                                           \
     ::benchmark::Initialize(&argc, argv);                  \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \

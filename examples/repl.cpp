@@ -1,23 +1,34 @@
 // An interactive shell for emcalc. Reads commands/queries from stdin, so
 // it also works in pipes:
 //
-//   $ printf 'rel EDGE 1,2\n{x | EDGE(x, y)}\n' | ./repl
+//   $ printf 'rel EDGE 1,2\n{x | EDGE(x, y)}\nquit\n' | ./repl
 //
 // Commands (everything else is parsed as a query):
 //   rel NAME ROW[;ROW...]   define a relation from inline CSV rows
 //   load NAME PATH          load a relation from a CSV file
 //   show NAME               print a relation
 //   plan QUERY              show the safety analysis + plan, don't run
-//   help                    this text
+//   profile QUERY           run + EXPLAIN COMPILE / EXPLAIN ANALYZE
+//   .trace FILE | .trace off   capture spans, write Chrome trace JSON
+//   .metrics                print a metrics registry snapshot
+//   .log FILE | .log off    append per-query JSON-Lines records to FILE
+//   help
 //   quit
+//
+// The EMCALC_TRACE / EMCALC_QUERY_LOG environment variables enable the
+// same sinks without commands (trace flushed at exit).
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "src/algebra/printer.h"
 #include "src/calculus/printer.h"
 #include "src/core/compiler.h"
+#include "src/obs/metrics.h"
+#include "src/obs/query_log.h"
+#include "src/obs/trace.h"
 #include "src/storage/csv.h"
 
 namespace {
@@ -30,12 +41,16 @@ void PrintHelp() {
       "  load NAME PATH          load a relation from a CSV file\n"
       "  show NAME               print a relation\n"
       "  plan QUERY              analyze + translate, don't run\n"
+      "  profile QUERY           run with compile + execution profiles\n"
+      "  .trace FILE | off       capture spans to a Chrome trace file\n"
+      "  .metrics                print the metrics registry snapshot\n"
+      "  .log FILE | off         per-query JSON-Lines log\n"
       "  help | quit\n"
       "anything else is evaluated as a query, e.g. {x | EDGE(x, y)}\n");
 }
 
 void RunQuery(emcalc::Compiler& compiler, emcalc::Database& db,
-              const std::string& text, bool execute) {
+              const std::string& text, bool execute, bool profile) {
   auto q = compiler.Compile(text);
   if (!q.ok()) {
     std::printf("error: %s\n", q.status().ToString().c_str());
@@ -43,6 +58,16 @@ void RunQuery(emcalc::Compiler& compiler, emcalc::Database& db,
   }
   std::printf("plan: %s\n", q->PlanString().c_str());
   if (!execute) return;
+  if (profile) {
+    std::printf("-- explain compile --\n%s", q->ExplainCompile().c_str());
+    auto report = q->ExplainAnalyze(db);
+    if (!report.ok()) {
+      std::printf("error: %s\n", report.status().ToString().c_str());
+      return;
+    }
+    std::printf("-- explain analyze --\n%s", report->c_str());
+    return;
+  }
   emcalc::AlgebraEvalStats stats;
   auto answer = q->Run(db, &stats);
   if (!answer.ok()) {
@@ -54,11 +79,53 @@ void RunQuery(emcalc::Compiler& compiler, emcalc::Database& db,
               static_cast<unsigned long long>(stats.tuples_produced));
 }
 
+// Repl-owned trace capture (the `.trace` command). Separate from the
+// EMCALC_TRACE-driven process tracer, which flushes via atexit.
+struct TraceCapture {
+  emcalc::obs::Tracer tracer;
+  std::string path;
+
+  void Flush() {
+    if (path.empty()) return;
+    emcalc::Status s = tracer.WriteChromeTrace(path);
+    if (s.ok()) {
+      std::printf("wrote %zu spans to %s\n", tracer.size(), path.c_str());
+    } else {
+      std::printf("error: %s\n", s.ToString().c_str());
+    }
+  }
+
+  void Start(const std::string& new_path) {
+    Flush();
+    tracer.Clear();
+    path = new_path;
+    emcalc::obs::SetTracer(&tracer);
+    std::printf("tracing to %s\n", path.c_str());
+  }
+
+  void Stop() {
+    if (path.empty()) {
+      std::printf("tracing is not active\n");
+      return;
+    }
+    Flush();
+    if (emcalc::obs::GetTracer() == &tracer) {
+      emcalc::obs::SetTracer(nullptr);
+    }
+    tracer.Clear();
+    path.clear();
+  }
+};
+
 }  // namespace
 
 int main() {
+  emcalc::obs::InitTracingFromEnv();
+  emcalc::obs::InitQueryLogFromEnv();
   emcalc::Compiler compiler;
   emcalc::Database db;
+  TraceCapture capture;
+  std::unique_ptr<emcalc::obs::QueryLog> query_log;
   std::printf("emcalc shell — 'help' for commands\n");
   std::string line;
   while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
@@ -69,6 +136,44 @@ int main() {
     if (command == "quit" || command == "exit") break;
     if (command == "help") {
       PrintHelp();
+      continue;
+    }
+    if (command == ".trace") {
+      std::string arg;
+      words >> arg;
+      if (arg.empty() || arg == "off") {
+        capture.Stop();
+      } else {
+        capture.Start(arg);
+      }
+      continue;
+    }
+    if (command == ".metrics") {
+      std::printf("%s", emcalc::obs::MetricsRegistry::Instance()
+                            .TextSnapshot()
+                            .c_str());
+      continue;
+    }
+    if (command == ".log") {
+      std::string arg;
+      words >> arg;
+      if (arg.empty() || arg == "off") {
+        if (query_log != nullptr &&
+            emcalc::obs::GetQueryLog() == query_log.get()) {
+          emcalc::obs::SetQueryLog(nullptr);
+        }
+        query_log.reset();
+        std::printf("query log off\n");
+        continue;
+      }
+      auto log = emcalc::obs::QueryLog::Open(arg);
+      if (!log.ok()) {
+        std::printf("error: %s\n", log.status().ToString().c_str());
+        continue;
+      }
+      query_log = std::move(log).value();
+      emcalc::obs::SetQueryLog(query_log.get());
+      std::printf("query log to %s\n", arg.c_str());
       continue;
     }
     if (command == "rel") {
@@ -104,10 +209,21 @@ int main() {
     if (command == "plan") {
       std::string rest;
       std::getline(words, rest);
-      RunQuery(compiler, db, rest, /*execute=*/false);
+      RunQuery(compiler, db, rest, /*execute=*/false, /*profile=*/false);
       continue;
     }
-    RunQuery(compiler, db, line, /*execute=*/true);
+    if (command == "profile") {
+      std::string rest;
+      std::getline(words, rest);
+      RunQuery(compiler, db, rest, /*execute=*/true, /*profile=*/true);
+      continue;
+    }
+    RunQuery(compiler, db, line, /*execute=*/true, /*profile=*/false);
+  }
+  if (!capture.path.empty()) capture.Stop();
+  if (query_log != nullptr &&
+      emcalc::obs::GetQueryLog() == query_log.get()) {
+    emcalc::obs::SetQueryLog(nullptr);
   }
   return 0;
 }

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "src/base/check.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace emcalc {
 namespace {
@@ -173,13 +175,25 @@ const AlgExpr* RewriteImpl(AlgebraFactory& f, RewriteCache& cache,
 }  // namespace
 
 const AlgExpr* OptimizePlan(AlgebraFactory& factory, const AlgExpr* plan) {
+  obs::Span span("algebra.optimize");
+  static obs::Counter& runs =
+      obs::MetricsRegistry::Instance().GetCounter("optimizer.runs");
+  static obs::Counter& passes =
+      obs::MetricsRegistry::Instance().GetCounter("optimizer.passes");
+  runs.Add();
+  const AlgExpr* original = plan;
   // Rewrite() is single-pass bottom-up with local re-runs; iterate to a
   // fixpoint (plans are small, a handful of passes suffices).
   for (int i = 0; i < 8; ++i) {
+    passes.Add();
     RewriteCache cache;
     const AlgExpr* next = Rewrite(factory, cache, plan);
-    if (next == plan) return plan;
+    if (next == plan) break;
     plan = next;
+  }
+  if (span.enabled()) {
+    span.SetDetail("nodes " + std::to_string(original->NodeCount()) + "->" +
+                   std::to_string(plan->NodeCount()));
   }
   return plan;
 }

@@ -4,15 +4,114 @@
 
 #include "src/algebra/optimizer.h"
 #include "src/algebra/printer.h"
-#include "src/exec/lower.h"
 #include "src/calculus/analysis.h"
 #include "src/calculus/parser.h"
 #include "src/calculus/printer.h"
 #include "src/calculus/rewrite.h"
+#include "src/exec/lower.h"
+#include "src/obs/metrics.h"
+#include "src/obs/query_log.h"
+#include "src/obs/trace.h"
 #include "src/translate/algebra_gen.h"
 #include "src/translate/ranf.h"
 
 namespace emcalc {
+
+namespace {
+
+// Compile-side metrics; handles resolved once.
+struct CompileMetrics {
+  obs::Counter& queries;
+  obs::Counter& errors;
+  obs::Histogram& wall_ns;
+
+  static CompileMetrics& Get() {
+    static CompileMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::Instance();
+      return new CompileMetrics{reg.GetCounter("compile.queries"),
+                                reg.GetCounter("compile.errors"),
+                                reg.GetHistogram("compile.wall_ns")};
+    }();
+    return *m;
+  }
+};
+
+// Run-side metrics shared by CompiledQuery / ParameterizedQuery.
+struct RunMetrics {
+  obs::Counter& runs;
+  obs::Counter& errors;
+  obs::Counter& rows_out;
+  obs::Histogram& wall_ns;
+
+  static RunMetrics& Get() {
+    static RunMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::Instance();
+      return new RunMetrics{reg.GetCounter("exec.runs"),
+                            reg.GetCounter("exec.errors"),
+                            reg.GetCounter("exec.rows_out"),
+                            reg.GetHistogram("exec.wall_ns")};
+    }();
+    return *m;
+  }
+};
+
+// Emits one "compile" query-log record (no-op without an installed log).
+void LogCompile(const std::string& text, const Status& status,
+                const obs::CompilePhase& profile, const Translation* t,
+                const Query* query) {
+  obs::QueryLog* log = obs::GetQueryLog();
+  if (log == nullptr) return;
+  obs::QueryLogRecord r;
+  r.event = "compile";
+  r.query = text;
+  r.query_hash = obs::HashQueryText(text);
+  r.ok = status.ok();
+  if (!status.ok()) r.error = status.ToString();
+  r.wall_ns = profile.wall_ns;
+  r.phase_ns = obs::FlattenPhases(profile);
+  if (t != nullptr) {
+    r.em_allowed = t->safety.em_allowed;
+    r.find_count = static_cast<int>(t->find_count);
+    if (t->ranf != nullptr) r.ranf_size = FormulaSize(t->ranf);
+    if (t->plan != nullptr) r.plan_nodes = t->plan->NodeCount();
+  }
+  if (query != nullptr) r.level = CountApplications(query->body);
+  log->Write(r);
+}
+
+void LogRunRecord(const std::string& text, bool ok, const std::string& error,
+                  uint64_t rows_out, uint64_t wall_ns) {
+  obs::QueryLog* log = obs::GetQueryLog();
+  if (log == nullptr) return;
+  obs::QueryLogRecord r;
+  r.event = "run";
+  r.query = text;
+  r.query_hash = obs::HashQueryText(text);
+  r.ok = ok;
+  r.error = error;
+  r.rows_out = rows_out;
+  r.wall_ns = wall_ns;
+  log->Write(r);
+}
+
+// Updates run metrics + query log for one execution attempt.
+template <typename ResultT>
+void ObserveRun(const std::string& text, const StatusOr<ResultT>& result,
+                uint64_t start_ns) {
+  uint64_t wall = obs::NowNs() - start_ns;
+  RunMetrics& m = RunMetrics::Get();
+  m.runs.Add();
+  m.wall_ns.Observe(static_cast<double>(wall));
+  if (result.ok()) {
+    m.rows_out.Add(result->size());
+    LogRunRecord(text, true, "", result->size(), wall);
+  } else {
+    m.errors.Add();
+    LogRunRecord(text, false, result.status().ToString(), 0, wall);
+  }
+}
+
+}  // namespace
 
 std::string CompiledQuery::QueryString() const {
   return QueryToString(owner_->ctx(), query_);
@@ -26,17 +125,55 @@ std::string CompiledQuery::PlanTreeString() const {
   return AlgExprToTreeString(owner_->ctx(), translation_.plan);
 }
 
+std::string CompiledQuery::ExplainCompile() const {
+  return obs::CompileProfileToString(profile_);
+}
+
 StatusOr<Relation> CompiledQuery::Run(const Database& db,
                                       AlgebraEvalStats* stats) const {
-  return EvaluateAlgebra(owner_->ctx(), translation_.plan, db,
-                         owner_->functions(), stats);
+  obs::Span span("exec.run");
+  uint64_t start_ns = obs::NowNs();
+  auto execute = [&]() -> StatusOr<Relation> {
+    if (physical_ == nullptr) {
+      // Lowering failed at compile time; EvaluateAlgebra re-lowers and
+      // surfaces the error.
+      return EvaluateAlgebra(owner_->ctx(), translation_.plan, db,
+                             owner_->functions(), stats);
+    }
+    ExecProfile profile;
+    auto result = physical_->ExecuteToRelation(
+        db, stats != nullptr ? &profile : nullptr);
+    if (result.ok() && stats != nullptr) {
+      ExecTotals totals = SumProfile(profile);
+      stats->tuples_scanned += totals.rows_in;
+      stats->tuples_produced += totals.rows_out;
+      stats->function_calls += totals.function_calls;
+      stats->tuple_copies += totals.tuple_copies;
+    }
+    return result;
+  };
+  auto answer = execute();
+  ObserveRun(text_, answer, start_ns);
+  return answer;
 }
 
 StatusOr<Relation> CompiledQuery::RunWithProfile(const Database& db,
                                                  ExecProfile* profile) const {
-  auto physical = Lower(owner_->ctx(), translation_.plan, owner_->functions());
-  if (!physical.ok()) return physical.status();
-  return physical->ExecuteToRelation(db, profile);
+  obs::Span span("exec.run");
+  uint64_t start_ns = obs::NowNs();
+  auto execute = [&]() -> StatusOr<Relation> {
+    if (physical_ != nullptr) {
+      return physical_->ExecuteToRelation(db, profile);
+    }
+    // Lowering failed at compile time; redo it here to surface the error.
+    auto physical =
+        Lower(owner_->ctx(), translation_.plan, owner_->functions());
+    if (!physical.ok()) return physical.status();
+    return physical->ExecuteToRelation(db, profile);
+  };
+  auto answer = execute();
+  ObserveRun(text_, answer, start_ns);
+  return answer;
 }
 
 StatusOr<std::string> CompiledQuery::ExplainAnalyze(const Database& db) const {
@@ -56,9 +193,23 @@ Compiler::Compiler(FunctionRegistry functions)
 
 StatusOr<CompiledQuery> Compiler::Compile(std::string_view text,
                                           const TranslateOptions& options) {
-  auto q = ParseQuery(*ctx_, text);
-  if (!q.ok()) return q.status();
-  return CompileQuery(*q, options);
+  obs::Span span("compile");
+  uint64_t start_ns = obs::NowNs();
+  obs::CompilePhase profile;
+  profile.name = "compile";
+  StatusOr<Query> q = [&] {
+    obs::PhaseTimer timer(&profile, "parse", "compile.parse");
+    return ParseQuery(*ctx_, text);
+  }();
+  if (!q.ok()) {
+    CompileMetrics::Get().queries.Add();
+    CompileMetrics::Get().errors.Add();
+    profile.wall_ns = obs::NowNs() - start_ns;
+    LogCompile(std::string(text), q.status(), profile, nullptr, nullptr);
+    return q.status();
+  }
+  return CompileImpl(*q, options, std::move(profile), start_ns,
+                     std::string(text));
 }
 
 Status Compiler::DefineView(std::string_view name,
@@ -78,24 +229,101 @@ Status Compiler::DefineView(std::string_view name,
 
 StatusOr<CompiledQuery> Compiler::CompileQuery(
     const Query& q, const TranslateOptions& options) {
+  obs::Span span("compile");
+  obs::CompilePhase profile;
+  profile.name = "compile";
+  return CompileImpl(q, options, std::move(profile), obs::NowNs(),
+                     QueryToString(*ctx_, q));
+}
+
+StatusOr<CompiledQuery> Compiler::CompileImpl(const Query& q,
+                                              const TranslateOptions& options,
+                                              obs::CompilePhase profile,
+                                              uint64_t start_ns,
+                                              std::string text) {
+  CompileMetrics::Get().queries.Add();
+  auto fail = [&](const Status& status,
+                  const Translation* t) -> StatusOr<CompiledQuery> {
+    CompileMetrics::Get().errors.Add();
+    profile.wall_ns = obs::NowNs() - start_ns;
+    LogCompile(text, status, profile, t, &q);
+    return status;
+  };
+
   Query expanded = q;
-  auto body = ExpandViews(*ctx_, q.body, views_);
-  if (!body.ok()) return body.status();
-  expanded.body = *body;
-  auto translation = TranslateQuery(*ctx_, expanded, options);
-  if (!translation.ok()) return translation.status();
-  return CompiledQuery(this, expanded, std::move(translation).value());
+  {
+    obs::PhaseTimer timer(&profile, "expand_views", "compile.expand_views");
+    auto body = ExpandViews(*ctx_, q.body, views_);
+    if (!body.ok()) return fail(body.status(), nullptr);
+    expanded.body = *body;
+  }
+
+  // TranslateQuery emits its own "compile.translate" span; time the phase
+  // here without a second span and graft the translation's phase tree
+  // (safety, ENF, RANF, algebra_gen, optimize) under this node.
+  uint64_t translate_start = obs::NowNs();
+  StatusOr<Translation> translation = TranslateQuery(*ctx_, expanded, options);
+  {
+    profile.children.emplace_back();
+    obs::CompilePhase& phase = profile.children.back();
+    phase.name = "translate";
+    phase.wall_ns = obs::NowNs() - translate_start;
+    if (translation.ok()) {
+      phase.children = std::move(translation->profile.children);
+    }
+  }
+  if (!translation.ok()) return fail(translation.status(), nullptr);
+
+  std::shared_ptr<const PhysicalPlan> physical;
+  {
+    obs::PhaseTimer timer(&profile, "lower", "compile.lower");
+    auto lowered = Lower(*ctx_, translation->plan, functions_);
+    if (lowered.ok()) {
+      timer.SetDetail("ops=" + std::to_string(lowered->NumOperators()));
+      physical = std::make_shared<const PhysicalPlan>(
+          std::move(lowered).value());
+    } else {
+      // Keep the query usable for inspection; executions will re-lower and
+      // report this error.
+      timer.SetDetail("failed: " + lowered.status().ToString());
+    }
+  }
+
+  profile.wall_ns = obs::NowNs() - start_ns;
+  CompileMetrics::Get().wall_ns.Observe(static_cast<double>(profile.wall_ns));
+  LogCompile(text, Status::Ok(), profile, &*translation, &expanded);
+  return CompiledQuery(this, expanded, std::move(translation).value(),
+                       std::move(profile), std::move(text),
+                       std::move(physical));
 }
 
 StatusOr<ParameterizedQuery> Compiler::CompileParameterized(
     std::string_view text, const std::vector<std::string>& params,
     const TranslateOptions& options) {
-  auto parsed = ParseQuery(*ctx_, text);
-  if (!parsed.ok()) return parsed.status();
+  obs::Span span("compile.parameterized");
+  uint64_t start_ns = obs::NowNs();
+  obs::CompilePhase profile;
+  profile.name = "compile";
+  CompileMetrics::Get().queries.Add();
+  auto fail = [&](const Status& status) -> StatusOr<ParameterizedQuery> {
+    CompileMetrics::Get().errors.Add();
+    profile.wall_ns = obs::NowNs() - start_ns;
+    LogCompile(std::string(text), status, profile, nullptr, nullptr);
+    return status;
+  };
+
+  StatusOr<Query> parsed = [&] {
+    obs::PhaseTimer timer(&profile, "parse", "compile.parse");
+    return ParseQuery(*ctx_, text);
+  }();
+  if (!parsed.ok()) return fail(parsed.status());
   Query q = std::move(parsed).value();
-  auto expanded_body = ExpandViews(*ctx_, q.body, views_);
-  if (!expanded_body.ok()) return expanded_body.status();
-  q.body = *expanded_body;
+  {
+    obs::PhaseTimer timer(&profile, "expand_views", "compile.expand_views");
+    auto expanded_body = ExpandViews(*ctx_, q.body, views_);
+    if (!expanded_body.ok()) return fail(expanded_body.status());
+    q.body = *expanded_body;
+  }
 
   std::vector<Symbol> param_syms;
   for (const std::string& p : params) {
@@ -103,7 +331,7 @@ StatusOr<ParameterizedQuery> Compiler::CompileParameterized(
   }
   SymbolSet param_set(param_syms);
   if (param_set.size() != param_syms.size()) {
-    return InvalidArgumentError("duplicate parameter name");
+    return fail(InvalidArgumentError("duplicate parameter name"));
   }
   // The bare-formula query form puts every free variable in the head;
   // parameters are outputs of neither form.
@@ -111,15 +339,17 @@ StatusOr<ParameterizedQuery> Compiler::CompileParameterized(
                               [&](Symbol v) { return param_set.Contains(v); }),
                q.head.end());
 
-  if (Status s = CheckWellFormed(q.body, ctx_->symbols()); !s.ok()) return s;
+  if (Status s = CheckWellFormed(q.body, ctx_->symbols()); !s.ok()) {
+    return fail(s);
+  }
   SymbolSet expected = SymbolSet(q.head).Union(param_set);
   if (FreeVars(q.body) != expected) {
-    return InvalidArgumentError(
-        "body's free variables must be exactly head + parameters");
+    return fail(InvalidArgumentError(
+        "body's free variables must be exactly head + parameters"));
   }
   for (Symbol h : q.head) {
     if (param_set.Contains(h)) {
-      return InvalidArgumentError("head variable is also a parameter");
+      return fail(InvalidArgumentError("head variable is also a parameter"));
     }
   }
 
@@ -128,25 +358,68 @@ StatusOr<ParameterizedQuery> Compiler::CompileParameterized(
   for (const auto& [fn, inv] : options.inverse_fns) {
     bound.invertible_fns.Insert(fn);
   }
-  EmAllowedChecker checker(*ctx_, bound);
-  SafetyResult safety = checker.CheckFormula(q.body, param_set);
-  if (!safety.em_allowed) {
-    return NotSafeError("query is not em-allowed for its parameters: " +
-                        safety.reason);
+  int find_count = 0;
+  size_t bd_computations = 0;
+  {
+    obs::PhaseTimer timer(&profile, "safety", "compile.safety");
+    EmAllowedChecker checker(*ctx_, bound);
+    SafetyResult safety = checker.CheckFormula(q.body, param_set);
+    bd_computations = checker.bound().computations();
+    if (safety.em_allowed) {
+      find_count = static_cast<int>(checker.bound().Bound(q.body).size());
+    }
+    timer.SetDetail(
+        (safety.em_allowed ? std::string("em-allowed") :
+                             std::string("rejected")) +
+        " bd_computations=" + std::to_string(bd_computations) +
+        " finds=" + std::to_string(find_count));
+    if (!safety.em_allowed) {
+      return fail(NotSafeError(
+          "query is not em-allowed for its parameters: " + safety.reason));
+    }
   }
 
-  EnfOptions enf_options;
-  enf_options.enable_t10 = options.enable_t10;
-  enf_options.bound = bound;
-  const Formula* enf = ToEnf(*ctx_, q.body, enf_options);
-  auto ranf = ToRanf(*ctx_, enf, param_set, bound.invertible_fns);
-  if (!ranf.ok()) return ranf.status();
-  return ParameterizedQuery(this, std::move(q), std::move(param_syms),
-                            *ranf, options.inverse_fns);
+  const Formula* enf = nullptr;
+  {
+    obs::PhaseTimer timer(&profile, "enf", "compile.enf");
+    EnfOptions enf_options;
+    enf_options.enable_t10 = options.enable_t10;
+    enf_options.bound = bound;
+    enf = ToEnf(*ctx_, q.body, enf_options);
+    timer.SetDetail("size=" + std::to_string(FormulaSize(enf)));
+  }
+  const Formula* ranf = nullptr;
+  {
+    obs::PhaseTimer timer(&profile, "ranf", "compile.ranf");
+    auto ranf_or = ToRanf(*ctx_, enf, param_set, bound.invertible_fns);
+    if (!ranf_or.ok()) return fail(ranf_or.status());
+    ranf = *ranf_or;
+    timer.SetDetail("size=" + std::to_string(FormulaSize(ranf)));
+  }
+
+  profile.wall_ns = obs::NowNs() - start_ns;
+  CompileMetrics::Get().wall_ns.Observe(static_cast<double>(profile.wall_ns));
+  if (obs::GetQueryLog() != nullptr) {
+    obs::QueryLogRecord r;
+    r.event = "compile";
+    r.query = std::string(text);
+    r.query_hash = obs::HashQueryText(text);
+    r.ok = true;
+    r.em_allowed = true;
+    r.level = CountApplications(q.body);
+    r.find_count = find_count;
+    r.ranf_size = FormulaSize(ranf);
+    r.wall_ns = profile.wall_ns;
+    r.phase_ns = obs::FlattenPhases(profile);
+    obs::GetQueryLog()->Write(r);
+  }
+  return ParameterizedQuery(this, std::move(q), std::move(param_syms), ranf,
+                            options.inverse_fns);
 }
 
 StatusOr<const AlgExpr*> ParameterizedQuery::PlanFor(
     const std::vector<Value>& args) const {
+  obs::Span span("compile.plan_for");
   if (args.size() != params_.size()) {
     return InvalidArgumentError(
         "expected " + std::to_string(params_.size()) + " arguments, got " +
@@ -169,10 +442,46 @@ StatusOr<const AlgExpr*> ParameterizedQuery::PlanFor(
 StatusOr<Relation> ParameterizedQuery::Run(const Database& db,
                                            const std::vector<Value>& args,
                                            AlgebraEvalStats* stats) const {
+  obs::Span span("exec.run");
+  uint64_t start_ns = obs::NowNs();
+  auto answer = [&]() -> StatusOr<Relation> {
+    auto plan = PlanFor(args);
+    if (!plan.ok()) return plan.status();
+    return EvaluateAlgebra(owner_->ctx(), *plan, db, owner_->functions(),
+                           stats);
+  }();
+  ObserveRun(QueryToString(owner_->ctx(), query_), answer, start_ns);
+  return answer;
+}
+
+StatusOr<Relation> ParameterizedQuery::RunWithProfile(
+    const Database& db, const std::vector<Value>& args,
+    ExecProfile* profile) const {
+  obs::Span span("exec.run");
+  uint64_t start_ns = obs::NowNs();
+  auto answer = [&]() -> StatusOr<Relation> {
+    auto plan = PlanFor(args);
+    if (!plan.ok()) return plan.status();
+    auto physical = Lower(owner_->ctx(), *plan, owner_->functions());
+    if (!physical.ok()) return physical.status();
+    return physical->ExecuteToRelation(db, profile);
+  }();
+  ObserveRun(QueryToString(owner_->ctx(), query_), answer, start_ns);
+  return answer;
+}
+
+StatusOr<std::string> ParameterizedQuery::ExplainAnalyze(
+    const Database& db, const std::vector<Value>& args) const {
   auto plan = PlanFor(args);
   if (!plan.ok()) return plan.status();
-  return EvaluateAlgebra(owner_->ctx(), *plan, db, owner_->functions(),
-                         stats);
+  ExecProfile profile;
+  auto answer = RunWithProfile(db, args, &profile);
+  if (!answer.ok()) return answer.status();
+  std::string out =
+      "plan: " + AlgExprToString(owner_->ctx(), *plan) + "\n";
+  out += "answer rows: " + std::to_string(answer->size()) + "\n";
+  out += ExecProfileToString(profile);
+  return out;
 }
 
 }  // namespace emcalc

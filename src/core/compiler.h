@@ -21,6 +21,7 @@
 #include "src/calculus/ast.h"
 #include "src/calculus/views.h"
 #include "src/exec/physical.h"
+#include "src/obs/compile_profile.h"
 #include "src/storage/database.h"
 #include "src/storage/interpretation.h"
 #include "src/translate/pipeline.h"
@@ -56,15 +57,33 @@ class CompiledQuery {
   // profile as a multi-line report.
   StatusOr<std::string> ExplainAnalyze(const Database& db) const;
 
+  // The per-phase compile timing tree (parse, view expansion, safety, ENF,
+  // RANF, algebra generation, optimization, lowering), mirroring the
+  // run-time ExecProfile. Always populated.
+  const obs::CompilePhase& compile_profile() const { return profile_; }
+
+  // EXPLAIN COMPILE: renders compile_profile() as an indented per-phase
+  // timing report with phase details (FinD counts, form sizes, node
+  // counts).
+  std::string ExplainCompile() const;
+
  private:
   friend class Compiler;
-  CompiledQuery(const Compiler* owner, Query query, Translation translation)
+  CompiledQuery(const Compiler* owner, Query query, Translation translation,
+                obs::CompilePhase profile, std::string text,
+                std::shared_ptr<const PhysicalPlan> physical)
       : owner_(owner), query_(std::move(query)),
-        translation_(std::move(translation)) {}
+        translation_(std::move(translation)), profile_(std::move(profile)),
+        text_(std::move(text)), physical_(std::move(physical)) {}
 
   const Compiler* owner_;
   Query query_;
   Translation translation_;
+  obs::CompilePhase profile_;
+  std::string text_;  // original query text (compile/run log correlation)
+  // Lowered once at compile time and shared by every Run; null when
+  // lowering failed (RunWithProfile then re-lowers to surface the error).
+  std::shared_ptr<const PhysicalPlan> physical_;
 };
 
 // A query with host-program parameters — the paper's "em-allowed for X"
@@ -87,6 +106,18 @@ class ParameterizedQuery {
   // Executes with `args` bound to parameters() position-wise.
   StatusOr<Relation> Run(const Database& db, const std::vector<Value>& args,
                          AlgebraEvalStats* stats = nullptr) const;
+
+  // Executes through the physical layer and fills `profile` with the
+  // per-operator statistics tree — the parameterized counterpart of
+  // CompiledQuery::RunWithProfile.
+  StatusOr<Relation> RunWithProfile(const Database& db,
+                                    const std::vector<Value>& args,
+                                    ExecProfile* profile) const;
+
+  // EXPLAIN ANALYZE for one argument binding: executes against `db` and
+  // renders the generated plan plus the per-operator profile.
+  StatusOr<std::string> ExplainAnalyze(const Database& db,
+                                       const std::vector<Value>& args) const;
 
   // The plan for given argument values (for inspection).
   StatusOr<const AlgExpr*> PlanFor(const std::vector<Value>& args) const;
@@ -144,6 +175,15 @@ class Compiler {
   const FunctionRegistry& functions() const { return functions_; }
 
  private:
+  // Shared tail of Compile/CompileQuery: view expansion, translation,
+  // lowering, profile assembly, metrics, and query-log emission. `profile`
+  // carries phases already timed by the caller (parse); `start_ns` is when
+  // the whole compilation began; `text` is the raw query text when known.
+  StatusOr<CompiledQuery> CompileImpl(const Query& q,
+                                      const TranslateOptions& options,
+                                      obs::CompilePhase profile,
+                                      uint64_t start_ns, std::string text);
+
   std::unique_ptr<AstContext> ctx_;
   FunctionRegistry functions_;
   ViewMap views_;

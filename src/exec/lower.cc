@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "src/base/check.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace emcalc {
 namespace {
@@ -236,8 +238,16 @@ class Lowerer {
 StatusOr<PhysicalPlan> Lower(const AstContext& ctx, const AlgExpr* plan,
                              const FunctionRegistry& registry,
                              const ExecOptions& options) {
+  obs::Span span("exec.lower");
+  static obs::Counter& lowered =
+      obs::MetricsRegistry::Instance().GetCounter("exec.plans_lowered");
+  lowered.Add();
   Lowerer lowerer(ctx, registry, options);
-  return lowerer.Lower(plan);
+  auto physical = lowerer.Lower(plan);
+  if (physical.ok() && span.enabled()) {
+    span.SetDetail("ops=" + std::to_string(physical->NumOperators()));
+  }
+  return physical;
 }
 
 }  // namespace emcalc

@@ -5,6 +5,8 @@
 #include <optional>
 
 #include "src/base/check.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/storage/adom.h"
 
 namespace emcalc {
@@ -28,6 +30,35 @@ uint64_t NowNs() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+std::string OpDetail(const PhysicalOp* op) {
+  switch (op->kind) {
+    case PhysOpKind::kScan:
+      return op->rel_name;
+    case PhysOpKind::kProjectMap:
+      return "cols=" + std::to_string(op->exprs.size());
+    case PhysOpKind::kFilterSelect:
+      return "conds=" + std::to_string(op->conds.size());
+    case PhysOpKind::kHashJoin:
+      return "keys=" + std::to_string(op->keys.size()) +
+             (op->conds.empty()
+                  ? std::string()
+                  : " residual=" + std::to_string(op->conds.size()));
+    case PhysOpKind::kNestedLoopJoin:
+      return "conds=" + std::to_string(op->conds.size());
+    case PhysOpKind::kAdomScan:
+      return "level=" + std::to_string(op->adom_level) +
+             " fns=" + std::to_string(op->adom_fns.size());
+    case PhysOpKind::kSingleton:
+      return op->unit ? "unit" : "empty";
+    case PhysOpKind::kMaterialize:
+      return "consumers=" + std::to_string(op->consumers);
+    case PhysOpKind::kUnionMerge:
+    case PhysOpKind::kDiffAnti:
+      return "";
+  }
+  return "";
 }
 
 }  // namespace
@@ -123,6 +154,10 @@ bool ExecContext::CondsHold(std::span<const AlgCondition> conds,
 }
 
 StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
+  // One trace span per operator invocation: nested operator spans render
+  // as the plan's flame graph next to the compile-phase spans.
+  obs::Span span(PhysOpKindName(op->kind));
+  if (span.enabled()) span.SetDetail(OpDetail(op));
   OpStats& s = stats[op->id];
   ++s.invocations;
   uint64_t start = NowNs();
@@ -318,35 +353,6 @@ StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
 
 namespace {
 
-std::string OpDetail(const PhysicalOp* op) {
-  switch (op->kind) {
-    case PhysOpKind::kScan:
-      return op->rel_name;
-    case PhysOpKind::kProjectMap:
-      return "cols=" + std::to_string(op->exprs.size());
-    case PhysOpKind::kFilterSelect:
-      return "conds=" + std::to_string(op->conds.size());
-    case PhysOpKind::kHashJoin:
-      return "keys=" + std::to_string(op->keys.size()) +
-             (op->conds.empty()
-                  ? std::string()
-                  : " residual=" + std::to_string(op->conds.size()));
-    case PhysOpKind::kNestedLoopJoin:
-      return "conds=" + std::to_string(op->conds.size());
-    case PhysOpKind::kAdomScan:
-      return "level=" + std::to_string(op->adom_level) +
-             " fns=" + std::to_string(op->adom_fns.size());
-    case PhysOpKind::kSingleton:
-      return op->unit ? "unit" : "empty";
-    case PhysOpKind::kMaterialize:
-      return "consumers=" + std::to_string(op->consumers);
-    case PhysOpKind::kUnionMerge:
-    case PhysOpKind::kDiffAnti:
-      return "";
-  }
-  return "";
-}
-
 // Builds the profile tree. Shared Materialize subtrees are expanded once;
 // later references become stubs so the tree's totals count work once.
 ExecProfile BuildProfile(const PhysicalOp* op,
@@ -432,6 +438,13 @@ std::string ExecProfileToString(const ExecProfile& profile) {
 
 StatusOr<PhysicalPlan::Result> PhysicalPlan::Execute(
     const Database& db, ExecProfile* profile) const {
+  obs::Span span("exec.execute");
+  if (span.enabled()) {
+    span.SetDetail("ops=" + std::to_string(ops_.size()));
+  }
+  static obs::Counter& executions =
+      obs::MetricsRegistry::Instance().GetCounter("exec.plan_executions");
+  executions.Add();
   // Validate every Scan binding up front so a broken plan fails before any
   // operator runs (mirrors the legacy evaluator's Validate pass).
   for (const std::unique_ptr<PhysicalOp>& op : ops_) {

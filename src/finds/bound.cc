@@ -1,6 +1,8 @@
 #include "src/finds/bound.h"
 
 #include "src/calculus/analysis.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/safety/pushnot.h"
 
 namespace emcalc {
@@ -35,7 +37,15 @@ const FinDSet& BoundAnalyzer::Bound(const Formula* f) {
   auto it = cache_.find(f);
   if (it != cache_.end()) return it->second;
   ++computations_;
+  static obs::Counter& computations =
+      obs::MetricsRegistry::Instance().GetCounter("finds.bd_computations");
+  computations.Add();
+  // Cache misses only: nested bd spans trace the FinD closure recursion.
+  obs::Span span("finds.bd");
   FinDSet result = Compute(f);
+  if (span.enabled()) {
+    span.SetDetail("finds=" + std::to_string(result.size()));
+  }
   return cache_.emplace(f, std::move(result)).first->second;
 }
 

@@ -1,0 +1,128 @@
+// A process-wide registry of named counters, gauges, and fixed-bucket
+// histograms, with text and JSON snapshot export.
+//
+// Naming convention: dot-separated `<subsystem>.<metric>[_<unit>]`, e.g.
+// `compile.queries`, `exec.rows_out`, `compile.wall_ns`. Units are spelled
+// in the name (`_ns`, `_bytes`) so snapshots are self-describing.
+//
+// Instrumentation sites cache the handle in a function-local static — the
+// registry lookup (mutex + map) happens once, after which a counter update
+// is a single relaxed atomic add:
+//
+//   static obs::Counter& compiles =
+//       obs::MetricsRegistry::Instance().GetCounter("compile.queries");
+//   compiles.Add();
+//
+// Metric objects live for the life of the process; references returned by
+// the registry never dangle.
+#ifndef EMCALC_OBS_METRICS_H_
+#define EMCALC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace emcalc::obs {
+
+// A monotonically increasing counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// A last-value-wins signed gauge.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// A histogram over fixed buckets given by strictly increasing upper
+// bounds; observations above the last bound land in an overflow bucket.
+// Percentiles report the smallest bucket bound whose cumulative count
+// reaches the requested rank (exact whenever the observations themselves
+// are bucket bounds); the overflow bucket reports the maximum observed
+// value.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  uint64_t count() const;
+  double sum() const;
+  double min() const;  // +inf when empty
+  double max() const;  // -inf when empty
+  // p in (0, 100], e.g. Percentile(99). Returns 0 when empty.
+  double Percentile(double p) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::vector<uint64_t> bucket_counts() const;  // bounds().size() + 1
+  void Reset();
+
+ private:
+  const std::vector<double> bounds_;
+  mutable std::mutex mu_;
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Upper bounds for latency histograms in nanoseconds: 1us … 16s in powers
+// of four.
+const std::vector<double>& DefaultLatencyBucketsNs();
+
+class MetricsRegistry {
+ public:
+  // The process-wide instance (never destroyed).
+  static MetricsRegistry& Instance();
+
+  // Returns the metric named `name`, creating it on first use. A name
+  // identifies one kind of metric; reusing it with a different kind is a
+  // programming error (checked).
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  // `bounds` applies on first use only; empty means DefaultLatencyBucketsNs.
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  // One metric per line: `name value` / `name count=N sum=S p50=.. p95=..
+  // p99=..` for histograms. Sorted by name.
+  std::string TextSnapshot() const;
+  // {"counters":{...},"gauges":{...},"histograms":{"n":{"count":..,...}}}
+  std::string JsonSnapshot() const;
+
+  // Zeroes every metric (registrations survive). For tests and benches.
+  void ResetAll();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace emcalc::obs
+
+#endif  // EMCALC_OBS_METRICS_H_

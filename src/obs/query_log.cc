@@ -1,0 +1,132 @@
+#include "src/obs/query_log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/obs/json.h"
+
+namespace emcalc::obs {
+
+uint64_t HashQueryText(std::string_view text) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string QueryLogRecordToJson(const QueryLogRecord& r) {
+  std::string out = "{\"event\":\"" + JsonEscape(r.event) + "\"";
+  // The hash is a full 64-bit value; a JSON number (double) would lose the
+  // low bits, so it travels as a decimal string.
+  out += ",\"query_hash\":\"" + std::to_string(r.query_hash) + "\"";
+  if (!r.query.empty()) out += ",\"query\":\"" + JsonEscape(r.query) + "\"";
+  out += ",\"ok\":";
+  out += r.ok ? "true" : "false";
+  if (!r.error.empty()) out += ",\"error\":\"" + JsonEscape(r.error) + "\"";
+  if (r.event == "compile") {
+    out += ",\"em_allowed\":";
+    out += r.em_allowed ? "true" : "false";
+    out += ",\"level\":" + std::to_string(r.level);
+    out += ",\"find_count\":" + std::to_string(r.find_count);
+    out += ",\"ranf_size\":" + std::to_string(r.ranf_size);
+    out += ",\"plan_nodes\":" + std::to_string(r.plan_nodes);
+  }
+  if (r.event == "run") {
+    out += ",\"rows_out\":" + std::to_string(r.rows_out);
+  }
+  out += ",\"wall_ns\":" + std::to_string(r.wall_ns);
+  if (!r.phase_ns.empty()) {
+    out += ",\"phases\":{";
+    bool first = true;
+    for (const auto& [name, ns] : r.phase_ns) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + JsonEscape(name) + "\":" + std::to_string(ns);
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+StatusOr<QueryLogRecord> ParseQueryLogRecord(std::string_view line) {
+  auto json = ParseJson(line);
+  if (!json.ok()) return json.status();
+  if (!json->is_object()) {
+    return InvalidArgumentError("query-log line is not a JSON object");
+  }
+  QueryLogRecord r;
+  r.event = json->StringOr("event", "");
+  if (r.event.empty()) {
+    return InvalidArgumentError("query-log line lacks an event field");
+  }
+  r.query_hash = std::strtoull(json->StringOr("query_hash", "0").c_str(),
+                               nullptr, 10);
+  r.query = json->StringOr("query", "");
+  r.ok = json->BoolOr("ok", true);
+  r.error = json->StringOr("error", "");
+  r.em_allowed = json->BoolOr("em_allowed", false);
+  r.level = static_cast<int>(json->NumberOr("level", 0));
+  r.find_count = static_cast<int>(json->NumberOr("find_count", 0));
+  r.ranf_size = static_cast<int>(json->NumberOr("ranf_size", 0));
+  r.plan_nodes = static_cast<int>(json->NumberOr("plan_nodes", 0));
+  r.rows_out = static_cast<uint64_t>(json->NumberOr("rows_out", 0));
+  r.wall_ns = static_cast<uint64_t>(json->NumberOr("wall_ns", 0));
+  if (const JsonValue* phases = json->Find("phases");
+      phases != nullptr && phases->is_object()) {
+    for (const auto& [name, v] : phases->object) {
+      if (v.is_number()) {
+        r.phase_ns.emplace_back(name, static_cast<uint64_t>(v.number));
+      }
+    }
+  }
+  return r;
+}
+
+StatusOr<std::unique_ptr<QueryLog>> QueryLog::Open(const std::string& path) {
+  std::unique_ptr<QueryLog> log(new QueryLog());
+  log->file_.open(path, std::ios::app);
+  if (!log->file_) {
+    return InvalidArgumentError("cannot open query log " + path);
+  }
+  log->sink_ = &log->file_;
+  return log;
+}
+
+void QueryLog::Write(const QueryLogRecord& record) {
+  std::string line = QueryLogRecordToJson(record);
+  std::lock_guard<std::mutex> lock(mu_);
+  *sink_ << line << "\n";
+  sink_->flush();
+}
+
+namespace {
+std::atomic<QueryLog*> g_query_log{nullptr};
+QueryLog* g_env_query_log = nullptr;
+}  // namespace
+
+QueryLog* GetQueryLog() { return g_query_log.load(std::memory_order_acquire); }
+
+void SetQueryLog(QueryLog* log) {
+  g_query_log.store(log, std::memory_order_release);
+}
+
+bool InitQueryLogFromEnv() {
+  if (g_env_query_log != nullptr) return true;
+  const char* path = std::getenv("EMCALC_QUERY_LOG");
+  if (path == nullptr || *path == '\0') return false;
+  auto log = QueryLog::Open(path);
+  if (!log.ok()) {
+    std::fprintf(stderr, "emcalc: EMCALC_QUERY_LOG: %s\n",
+                 log.status().ToString().c_str());
+    return false;
+  }
+  g_env_query_log = log->release();  // lives until process exit
+  SetQueryLog(g_env_query_log);
+  return true;
+}
+
+}  // namespace emcalc::obs

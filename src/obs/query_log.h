@@ -1,0 +1,87 @@
+// Structured per-query logging: one JSON object per line (JSON Lines).
+//
+// The compiler emits a "compile" record per Compile/CompileParameterized
+// call (safety verdict, ||phi|| level proxy, FinD count, RANF size, plan
+// node count, per-phase durations, error status) and a "run" record per
+// execution (rows out, wall time, error status). Records share the query
+// text hash so compile and run lines join.
+//
+// A process-global sink is installed with SetQueryLog (or EMCALC_QUERY_LOG
+// via InitQueryLogFromEnv); with none installed, logging is a single
+// atomic load per query.
+#ifndef EMCALC_OBS_QUERY_LOG_H_
+#define EMCALC_OBS_QUERY_LOG_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace emcalc::obs {
+
+// One query-log line. Field availability depends on `event`:
+// "compile" records fill the analysis fields; "run" records fill rows_out.
+struct QueryLogRecord {
+  std::string event;      // "compile" | "run"
+  uint64_t query_hash = 0;
+  std::string query;      // raw query text (may be empty if unavailable)
+  bool ok = true;
+  std::string error;      // status string when !ok
+  bool em_allowed = false;
+  int level = 0;          // function-application count (||phi|| proxy)
+  int find_count = 0;     // |bd(body)| after the safety check
+  int ranf_size = 0;      // formula nodes in the RANF form
+  int plan_nodes = 0;     // nodes in the optimized plan
+  uint64_t rows_out = 0;  // answer rows ("run" records)
+  uint64_t wall_ns = 0;   // total compile / run wall time
+  std::vector<std::pair<std::string, uint64_t>> phase_ns;  // per-phase
+};
+
+// FNV-1a of the query text; stable across processes.
+uint64_t HashQueryText(std::string_view text);
+
+// One line, no trailing newline.
+std::string QueryLogRecordToJson(const QueryLogRecord& record);
+
+// Inverse of QueryLogRecordToJson (accepts any JSON object with the
+// record's fields; unknown fields are ignored).
+StatusOr<QueryLogRecord> ParseQueryLogRecord(std::string_view line);
+
+// A thread-safe JSON-Lines sink.
+class QueryLog {
+ public:
+  // Borrow an existing stream (tests); must outlive the log.
+  explicit QueryLog(std::ostream* sink) : sink_(sink) {}
+
+  // Appends to `path`.
+  static StatusOr<std::unique_ptr<QueryLog>> Open(const std::string& path);
+
+  void Write(const QueryLogRecord& record);
+
+ private:
+  QueryLog() = default;
+
+  std::mutex mu_;
+  std::ofstream file_;
+  std::ostream* sink_ = nullptr;
+};
+
+// The process-global query log; null (disabled) by default. Borrowed, not
+// owned.
+QueryLog* GetQueryLog();
+void SetQueryLog(QueryLog* log);
+
+// EMCALC_QUERY_LOG=<path>: installs a process-lifetime query log appending
+// to <path>. Returns true when enabled. Idempotent.
+bool InitQueryLogFromEnv();
+
+}  // namespace emcalc::obs
+
+#endif  // EMCALC_OBS_QUERY_LOG_H_

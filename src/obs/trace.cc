@@ -1,0 +1,120 @@
+#include "src/obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "src/obs/json.h"
+
+namespace emcalc::obs {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint32_t CurrentThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+namespace {
+std::atomic<Tracer*> g_tracer{nullptr};
+}  // namespace
+
+Tracer* GetTracer() { return g_tracer.load(std::memory_order_acquire); }
+
+void SetTracer(Tracer* tracer) {
+  g_tracer.store(tracer, std::memory_order_release);
+}
+
+void Tracer::Record(const char* name, std::string detail, uint64_t start_ns,
+                    uint64_t dur_ns) {
+  uint32_t tid = CurrentThreadId();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(TraceEvent{name, std::move(detail), start_ns, dur_ns, tid});
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  char buf[64];
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    out += JsonEscape(e.name);
+    out += "\",\"cat\":\"emcalc\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    // Trace-event timestamps are microseconds; keep sub-us precision with
+    // fractional values (both viewers accept doubles).
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f",
+                  static_cast<double>(e.start_ns) / 1e3,
+                  static_cast<double>(e.dur_ns) / 1e3);
+    out += buf;
+    if (!e.detail.empty()) {
+      out += ",\"args\":{\"detail\":\"" + JsonEscape(e.detail) + "\"}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return InvalidArgumentError("cannot open trace file " + path);
+  file << ToChromeTraceJson() << "\n";
+  if (!file.good()) return InternalError("write to trace file " + path + " failed");
+  return Status::Ok();
+}
+
+namespace {
+
+// Process-lifetime tracer driven by EMCALC_TRACE; flushed via atexit.
+Tracer* g_env_tracer = nullptr;
+std::string* g_env_trace_path = nullptr;
+
+void FlushEnvTrace() {
+  if (g_env_tracer == nullptr || g_env_trace_path == nullptr) return;
+  Status s = g_env_tracer->WriteChromeTrace(*g_env_trace_path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "emcalc: EMCALC_TRACE flush failed: %s\n",
+                 s.ToString().c_str());
+  }
+}
+
+}  // namespace
+
+bool InitTracingFromEnv() {
+  if (g_env_tracer != nullptr) return true;
+  const char* path = std::getenv("EMCALC_TRACE");
+  if (path == nullptr || *path == '\0') return false;
+  g_env_tracer = new Tracer();           // lives until process exit
+  g_env_trace_path = new std::string(path);
+  SetTracer(g_env_tracer);
+  std::atexit(FlushEnvTrace);
+  return true;
+}
+
+}  // namespace emcalc::obs

@@ -1,0 +1,110 @@
+// Lightweight span tracing with Chrome trace-event export.
+//
+// A Span is an RAII guard that records one complete event (name, start,
+// duration, thread) into the process-global Tracer when one is installed:
+//
+//   obs::Tracer tracer;
+//   obs::SetTracer(&tracer);
+//   { obs::Span span("compile.parse"); ... }       // one event
+//   tracer.WriteChromeTrace("trace.json");         // Perfetto-loadable
+//
+// With no tracer installed (the default), constructing a Span costs one
+// relaxed atomic load and destroying it one branch — instrumentation stays
+// compiled in on hot paths unconditionally. Span names must be string
+// literals (or otherwise outlive the span); the optional detail string is
+// only materialized when tracing is enabled.
+//
+// Events nest by time containment per thread, which is exactly how
+// chrome://tracing and Perfetto render "X" (complete) events, so nested
+// Spans show up as a flame graph without explicit parent links.
+#ifndef EMCALC_OBS_TRACE_H_
+#define EMCALC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace emcalc::obs {
+
+// Monotonic nanoseconds (steady clock); the zero point is arbitrary.
+uint64_t NowNs();
+
+// Small dense id for the calling thread (first use assigns the next id).
+uint32_t CurrentThreadId();
+
+// One completed span.
+struct TraceEvent {
+  const char* name = "";   // static string (span names are literals)
+  std::string detail;      // exported as args.detail when non-empty
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;
+};
+
+// A thread-safe append-only buffer of completed spans.
+class Tracer {
+ public:
+  void Record(const char* name, std::string detail, uint64_t start_ns,
+              uint64_t dur_ns);
+
+  size_t size() const;
+  void Clear();
+  std::vector<TraceEvent> Snapshot() const;
+
+  // {"traceEvents":[{"name":...,"ph":"X","ts":us,"dur":us,"pid":1,"tid":n}]}
+  std::string ToChromeTraceJson() const;
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+// The process-global tracer; null (tracing disabled) by default. The
+// pointer is borrowed, never owned: the caller keeps the Tracer alive for
+// as long as it is installed.
+Tracer* GetTracer();
+void SetTracer(Tracer* tracer);
+
+// RAII span guard. Records [construction, destruction) into the tracer
+// that was installed at construction time.
+class Span {
+ public:
+  explicit Span(const char* name) : tracer_(GetTracer()), name_(name) {
+    if (tracer_ != nullptr) start_ns_ = NowNs();
+  }
+  ~Span() {
+    if (tracer_ != nullptr) {
+      tracer_->Record(name_, std::move(detail_), start_ns_,
+                      NowNs() - start_ns_);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // True when this span will be recorded; callers use it to skip building
+  // detail strings on the disabled path.
+  bool enabled() const { return tracer_ != nullptr; }
+  void SetDetail(std::string detail) {
+    if (tracer_ != nullptr) detail_ = std::move(detail);
+  }
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  std::string detail_;
+  uint64_t start_ns_ = 0;
+};
+
+// EMCALC_TRACE=<path>: installs a process-lifetime tracer whose buffer is
+// written to <path> at normal process exit. Returns true when tracing was
+// enabled. Idempotent.
+bool InitTracingFromEnv();
+
+}  // namespace emcalc::obs
+
+#endif  // EMCALC_OBS_TRACE_H_

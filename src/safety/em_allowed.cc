@@ -2,12 +2,30 @@
 
 #include "src/calculus/analysis.h"
 #include "src/calculus/printer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/safety/pushnot.h"
 
 namespace emcalc {
 
 SafetyResult EmAllowedChecker::CheckFormula(const Formula* f,
                                             const SymbolSet& context) {
+  obs::Span span("safety.em_allowed");
+  static obs::Counter& checks =
+      obs::MetricsRegistry::Instance().GetCounter("safety.checks");
+  static obs::Counter& rejections =
+      obs::MetricsRegistry::Instance().GetCounter("safety.rejections");
+  checks.Add();
+  SafetyResult result = CheckImpl(f, context);
+  if (!result.em_allowed) {
+    rejections.Add();
+    span.SetDetail("rejected: " + result.reason);
+  }
+  return result;
+}
+
+SafetyResult EmAllowedChecker::CheckImpl(const Formula* f,
+                                         const SymbolSet& context) {
   SafetyResult inner = CheckSubformulas(f);
   if (!inner.em_allowed) return inner;
   SymbolSet free = FreeVars(f);

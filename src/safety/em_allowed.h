@@ -52,6 +52,9 @@ class EmAllowedChecker {
   BoundAnalyzer& bound() { return bound_; }
 
  private:
+  // CheckFormula minus the instrumentation (span + check/reject counters).
+  SafetyResult CheckImpl(const Formula* f, const SymbolSet& context);
+
   // Condition (2)/(3) recursion; does not include the top-level condition.
   SafetyResult CheckSubformulas(const Formula* f);
 

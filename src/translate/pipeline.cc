@@ -1,8 +1,10 @@
 #include "src/translate/pipeline.h"
 
 #include "src/algebra/optimizer.h"
-#include "src/calculus/rewrite.h"
 #include "src/calculus/analysis.h"
+#include "src/calculus/rewrite.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/translate/algebra_gen.h"
 #include "src/translate/distribute.h"
 #include "src/translate/ranf.h"
@@ -11,12 +13,20 @@ namespace emcalc {
 
 StatusOr<Translation> TranslateQuery(AstContext& ctx, const Query& q,
                                      const TranslateOptions& options) {
+  obs::Span span("compile.translate");
+  uint64_t start_ns = obs::NowNs();
+  Translation out;
+  out.profile.name = "translate";
+
   // Shadowed quantifiers are legal calculus; rename them apart so the
   // remaining passes (and the well-formedness check) can assume distinct
   // bound variables.
   Query query = q;
-  query.body = Rectify(ctx, q.body);
-  if (Status s = CheckWellFormed(query, ctx.symbols()); !s.ok()) return s;
+  {
+    obs::PhaseTimer timer(&out.profile, "rectify", "compile.rectify");
+    query.body = Rectify(ctx, q.body);
+    if (Status s = CheckWellFormed(query, ctx.symbols()); !s.ok()) return s;
+  }
 
   // Effective bd options: fold declared inverses into the FinD analysis.
   BoundOptions bound = options.bound;
@@ -24,40 +34,76 @@ StatusOr<Translation> TranslateQuery(AstContext& ctx, const Query& q,
     bound.invertible_fns.Insert(fn);
   }
 
-  Translation out;
-  if (options.check_safety) {
-    out.safety = CheckEmAllowed(ctx, query, bound);
-    if (!out.safety.em_allowed) {
-      return NotSafeError("query is not em-allowed: " + out.safety.reason);
+  {
+    obs::PhaseTimer timer(&out.profile, "safety", "compile.safety");
+    if (options.check_safety) {
+      EmAllowedChecker checker(ctx, bound);
+      out.safety = checker.Check(query);
+      out.bd_computations = checker.bound().computations();
+      if (out.safety.em_allowed) {
+        out.find_count = checker.bound().Bound(query.body).size();
+      }
+      timer.SetDetail(
+          (out.safety.em_allowed ? std::string("em-allowed")
+                                 : std::string("rejected")) +
+          " bd_computations=" + std::to_string(out.bd_computations) +
+          " finds=" + std::to_string(out.find_count));
+      if (!out.safety.em_allowed) {
+        return NotSafeError("query is not em-allowed: " + out.safety.reason);
+      }
+    } else {
+      out.safety = SafetyResult{true, "(safety check skipped)"};
+      timer.SetDetail("skipped");
     }
-  } else {
-    out.safety = SafetyResult{true, "(safety check skipped)"};
   }
 
-  EnfOptions enf_options;
-  enf_options.enable_t10 = options.enable_t10;
-  enf_options.bound = bound;
-  out.enf = ToEnf(ctx, query.body, enf_options);
+  {
+    obs::PhaseTimer timer(&out.profile, "enf", "compile.enf");
+    EnfOptions enf_options;
+    enf_options.enable_t10 = options.enable_t10;
+    enf_options.bound = bound;
+    out.enf = ToEnf(ctx, query.body, enf_options);
+    timer.SetDetail("size=" + std::to_string(FormulaSize(out.enf)));
+  }
 
   const Formula* pre_ranf = out.enf;
   if (options.distribute_disjunctions) {
+    obs::PhaseTimer timer(&out.profile, "distribute", "compile.distribute");
     pre_ranf = DistributeDisjunctions(ctx, pre_ranf);
+    timer.SetDetail("size=" + std::to_string(FormulaSize(pre_ranf)));
   }
-  auto ranf = ToRanf(ctx, pre_ranf, SymbolSet{}, bound.invertible_fns);
-  if (!ranf.ok()) return ranf.status();
-  out.ranf = *ranf;
 
-  AlgebraGenerator generator(ctx, options.inverse_fns);
-  auto plan = generator.Translate(out.ranf, query.head);
-  if (!plan.ok()) return plan.status();
-  out.raw_plan = *plan;
+  {
+    obs::PhaseTimer timer(&out.profile, "ranf", "compile.ranf");
+    auto ranf = ToRanf(ctx, pre_ranf, SymbolSet{}, bound.invertible_fns);
+    if (!ranf.ok()) return ranf.status();
+    out.ranf = *ranf;
+    timer.SetDetail("size=" + std::to_string(FormulaSize(out.ranf)));
+  }
+
+  {
+    obs::PhaseTimer timer(&out.profile, "algebra_gen", "compile.algebra_gen");
+    AlgebraGenerator generator(ctx, options.inverse_fns);
+    auto plan = generator.Translate(out.ranf, query.head);
+    if (!plan.ok()) return plan.status();
+    out.raw_plan = *plan;
+    timer.SetDetail("nodes=" + std::to_string(out.raw_plan->NodeCount()));
+  }
 
   if (options.optimize) {
+    obs::PhaseTimer timer(&out.profile, "optimize", "compile.optimize");
     AlgebraFactory factory(ctx);
     out.plan = OptimizePlan(factory, out.raw_plan);
+    timer.SetDetail("nodes " + std::to_string(out.raw_plan->NodeCount()) +
+                    "->" + std::to_string(out.plan->NodeCount()));
   } else {
     out.plan = out.raw_plan;
   }
+  out.profile.wall_ns = obs::NowNs() - start_ns;
+
+  static obs::Counter& translations =
+      obs::MetricsRegistry::Instance().GetCounter("translate.queries");
+  translations.Add();
   return out;
 }
 

@@ -17,6 +17,7 @@
 #include "src/algebra/ast.h"
 #include "src/base/status.h"
 #include "src/calculus/ast.h"
+#include "src/obs/compile_profile.h"
 #include "src/safety/em_allowed.h"
 #include "src/translate/enf.h"
 
@@ -51,6 +52,13 @@ struct Translation {
   const Formula* ranf = nullptr;  // after step (3)
   const AlgExpr* raw_plan = nullptr;  // after step (4)
   const AlgExpr* plan = nullptr;      // after simplification
+  // Per-phase wall times of this translation (the "translate" subtree of
+  // the compile profile; see src/obs/compile_profile.h). Always filled.
+  obs::CompilePhase profile;
+  // Safety-check statistics: bd cache misses and the size of bd(body)'s
+  // cover (both 0 when check_safety is off).
+  size_t bd_computations = 0;
+  size_t find_count = 0;
 };
 
 // Translates an em-allowed query into an equivalent extended-algebra plan.

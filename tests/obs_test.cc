@@ -1,0 +1,448 @@
+// Tests for the observability subsystem (src/obs/): span tracer, metrics
+// registry, compile profiling, query log — plus the end-to-end acceptance
+// check that a single trace captures both compile-phase and per-operator
+// execution spans.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/compiler.h"
+#include "src/obs/compile_profile.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/query_log.h"
+#include "src/obs/trace.h"
+#include "src/storage/csv.h"
+
+namespace emcalc {
+namespace {
+
+// Installs `tracer` for the test's scope; restores the previous tracer.
+class ScopedTracer {
+ public:
+  explicit ScopedTracer(obs::Tracer* tracer) : saved_(obs::GetTracer()) {
+    obs::SetTracer(tracer);
+  }
+  ~ScopedTracer() { obs::SetTracer(saved_); }
+
+ private:
+  obs::Tracer* saved_;
+};
+
+TEST(TraceTest, DisabledSpanIsInert) {
+  ScopedTracer scope(nullptr);
+  obs::Span span("test.disabled");
+  EXPECT_FALSE(span.enabled());
+  span.SetDetail("ignored");  // must not crash or allocate into a tracer
+}
+
+TEST(TraceTest, SpansRecordNamesDetailsAndNesting) {
+  obs::Tracer tracer;
+  ScopedTracer scope(&tracer);
+  {
+    obs::Span outer("test.outer");
+    {
+      obs::Span inner("test.inner");
+      ASSERT_TRUE(inner.enabled());
+      inner.SetDetail("rows=3");
+    }
+  }
+  std::vector<obs::TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner destructs first, so it is recorded first.
+  EXPECT_STREQ(events[0].name, "test.inner");
+  EXPECT_EQ(events[0].detail, "rows=3");
+  EXPECT_STREQ(events[1].name, "test.outer");
+  // Time containment: inner lies within [outer.start, outer.end].
+  EXPECT_GE(events[0].start_ns, events[1].start_ns);
+  EXPECT_LE(events[0].start_ns + events[0].dur_ns,
+            events[1].start_ns + events[1].dur_ns);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+}
+
+TEST(TraceTest, ConcurrentSpansNestPerThread) {
+  obs::Tracer tracer;
+  ScopedTracer scope(&tracer);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      obs::Span outer("test.thread_outer");
+      for (int i = 0; i < 2; ++i) {
+        obs::Span inner("test.thread_inner");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::vector<obs::TraceEvent> events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kThreads * 3));
+  // Group by thread: each thread contributes one outer and two inner
+  // events, and the inners are time-contained in that thread's outer.
+  std::map<uint32_t, std::vector<const obs::TraceEvent*>> by_tid;
+  for (const obs::TraceEvent& e : events) by_tid[e.tid].push_back(&e);
+  ASSERT_EQ(by_tid.size(), static_cast<size_t>(kThreads));
+  for (const auto& [tid, own] : by_tid) {
+    ASSERT_EQ(own.size(), 3u);
+    const obs::TraceEvent* outer = nullptr;
+    for (const obs::TraceEvent* e : own) {
+      if (std::string(e->name) == "test.thread_outer") outer = e;
+    }
+    ASSERT_NE(outer, nullptr);
+    for (const obs::TraceEvent* e : own) {
+      if (e == outer) continue;
+      EXPECT_STREQ(e->name, "test.thread_inner");
+      EXPECT_GE(e->start_ns, outer->start_ns);
+      EXPECT_LE(e->start_ns + e->dur_ns, outer->start_ns + outer->dur_ns);
+    }
+  }
+}
+
+TEST(TraceTest, ChromeTraceJsonIsValidAndComplete) {
+  obs::Tracer tracer;
+  ScopedTracer scope(&tracer);
+  {
+    obs::Span span("test.escaped");
+    span.SetDetail("quote=\" backslash=\\ newline=\n");
+  }
+  { obs::Span span("test.plain"); }
+
+  std::string json = tracer.ToChromeTraceJson();
+  auto doc = obs::ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString() << "\n" << json;
+  const obs::JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), 2u);
+  std::set<std::string> names;
+  for (const obs::JsonValue& e : events->array) {
+    ASSERT_TRUE(e.is_object());
+    names.insert(e.StringOr("name", ""));
+    EXPECT_EQ(e.StringOr("ph", ""), "X");
+    EXPECT_EQ(e.NumberOr("pid", -1), 1);
+    EXPECT_NE(e.Find("ts"), nullptr);
+    EXPECT_NE(e.Find("dur"), nullptr);
+  }
+  EXPECT_TRUE(names.count("test.escaped"));
+  EXPECT_TRUE(names.count("test.plain"));
+  // The escaped detail survives the JSON round-trip.
+  for (const obs::JsonValue& e : events->array) {
+    if (e.StringOr("name", "") != "test.escaped") continue;
+    const obs::JsonValue* args = e.Find("args");
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->StringOr("detail", ""),
+              "quote=\" backslash=\\ newline=\n");
+  }
+}
+
+TEST(MetricsTest, CountersAndGauges) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+  obs::Counter& c = reg.GetCounter("test.counter");
+  c.Reset();
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name returns the same object.
+  EXPECT_EQ(&reg.GetCounter("test.counter"), &c);
+
+  obs::Gauge& g = reg.GetGauge("test.gauge");
+  g.Set(7);
+  g.Add(-10);
+  EXPECT_EQ(g.value(), -3);
+}
+
+TEST(MetricsTest, HistogramPercentilesAreExactOnBucketBounds) {
+  std::vector<double> bounds;
+  for (int i = 1; i <= 100; ++i) bounds.push_back(i);
+  obs::Histogram h(bounds);
+  // One observation at each bound: Percentile(p) must return exactly p.
+  for (int i = 1; i <= 100; ++i) h.Observe(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1), 1.0);
+}
+
+TEST(MetricsTest, HistogramOverflowBucketReportsMax) {
+  obs::Histogram h({10.0, 20.0});
+  h.Observe(5);
+  h.Observe(1000);  // overflow
+  std::vector<uint64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 1000.0);
+}
+
+TEST(MetricsTest, SnapshotsAreWellFormed) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+  reg.GetCounter("test.snapshot_counter").Add(5);
+  reg.GetHistogram("test.snapshot_hist").Observe(1500.0);
+
+  std::string text = reg.TextSnapshot();
+  EXPECT_NE(text.find("test.snapshot_counter"), std::string::npos);
+  EXPECT_NE(text.find("test.snapshot_hist"), std::string::npos);
+
+  auto doc = obs::ParseJson(reg.JsonSnapshot());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const obs::JsonValue* counters = doc->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_NE(counters->Find("test.snapshot_counter"), nullptr);
+  const obs::JsonValue* hists = doc->Find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const obs::JsonValue* hist = hists->Find("test.snapshot_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_GE(hist->NumberOr("count", 0), 1.0);
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(obs::ParseJson("").ok());
+  EXPECT_FALSE(obs::ParseJson("{").ok());
+  EXPECT_FALSE(obs::ParseJson("{}extra").ok());
+  EXPECT_FALSE(obs::ParseJson("{\"a\":}").ok());
+  EXPECT_TRUE(obs::ParseJson("{\"a\":[1,2.5,\"s\",true,null]}").ok());
+}
+
+TEST(QueryLogTest, RecordRoundTripsThroughJson) {
+  obs::QueryLogRecord r;
+  r.event = "compile";
+  r.query = "{x | R(x) and \"quoted\"}";
+  r.query_hash = obs::HashQueryText(r.query);
+  r.ok = false;
+  r.error = "NOT_SAFE: unbounded variable";
+  r.em_allowed = false;
+  r.level = 3;
+  r.find_count = 4;
+  r.ranf_size = 17;
+  r.plan_nodes = 9;
+  r.rows_out = 0;
+  r.wall_ns = 123456;
+  r.phase_ns = {{"parse", 1000}, {"translate.safety", 2500}};
+
+  std::string line = obs::QueryLogRecordToJson(r);
+  auto parsed = obs::ParseQueryLogRecord(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << line;
+  EXPECT_EQ(parsed->event, r.event);
+  EXPECT_EQ(parsed->query, r.query);
+  EXPECT_EQ(parsed->query_hash, r.query_hash);
+  EXPECT_EQ(parsed->ok, r.ok);
+  EXPECT_EQ(parsed->error, r.error);
+  EXPECT_EQ(parsed->em_allowed, r.em_allowed);
+  EXPECT_EQ(parsed->level, r.level);
+  EXPECT_EQ(parsed->find_count, r.find_count);
+  EXPECT_EQ(parsed->ranf_size, r.ranf_size);
+  EXPECT_EQ(parsed->plan_nodes, r.plan_nodes);
+  EXPECT_EQ(parsed->wall_ns, r.wall_ns);
+  EXPECT_EQ(parsed->phase_ns, r.phase_ns);
+}
+
+TEST(QueryLogTest, HashIsStableFnv1a) {
+  // FNV-1a offset basis for the empty string; fixed across platforms.
+  EXPECT_EQ(obs::HashQueryText(""), 14695981039346656037ULL);
+  EXPECT_EQ(obs::HashQueryText("abc"), obs::HashQueryText("abc"));
+  EXPECT_NE(obs::HashQueryText("abc"), obs::HashQueryText("abd"));
+}
+
+TEST(QueryLogTest, SinkEmitsOneValidJsonObjectPerLine) {
+  std::ostringstream out;
+  obs::QueryLog log(&out);
+  obs::QueryLogRecord r;
+  r.event = "run";
+  r.query = "{x | R(x)}";
+  r.rows_out = 2;
+  log.Write(r);
+  r.rows_out = 5;
+  log.Write(r);
+
+  std::istringstream in(out.str());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    auto doc = obs::ParseJson(line);
+    ASSERT_TRUE(doc.ok()) << line;
+    EXPECT_EQ(doc->StringOr("event", ""), "run");
+  }
+  EXPECT_EQ(lines, 2);
+}
+
+TEST(CompileProfileTest, PhaseTimerBuildsTreeAndRenders) {
+  obs::CompilePhase root;
+  root.name = "compile";
+  {
+    obs::PhaseTimer parse(&root, "parse", "test.compile.parse");
+  }
+  {
+    obs::PhaseTimer translate(&root, "translate", "test.compile.translate");
+    obs::PhaseTimer safety(translate.phase(), "safety", "test.compile.safety");
+    safety.SetDetail("em-allowed finds=2");
+  }
+  root.wall_ns = obs::ChildWallNs(root) + 10;
+
+  ASSERT_NE(root.Find("parse"), nullptr);
+  const obs::CompilePhase* translate = root.Find("translate");
+  ASSERT_NE(translate, nullptr);
+  const obs::CompilePhase* safety = translate->Find("safety");
+  ASSERT_NE(safety, nullptr);
+  EXPECT_EQ(safety->detail, "em-allowed finds=2");
+  EXPECT_LE(obs::ChildWallNs(*translate), translate->wall_ns);
+
+  std::string rendered = obs::CompileProfileToString(root);
+  EXPECT_NE(rendered.find("parse"), std::string::npos);
+  EXPECT_NE(rendered.find("safety"), std::string::npos);
+  EXPECT_NE(rendered.find("em-allowed finds=2"), std::string::npos);
+
+  auto flat = obs::FlattenPhases(root);
+  std::vector<std::string> paths;
+  for (const auto& [path, ns] : flat) paths.push_back(path);
+  EXPECT_NE(std::find(paths.begin(), paths.end(), "parse"), paths.end());
+  EXPECT_NE(std::find(paths.begin(), paths.end(), "translate.safety"),
+            paths.end());
+}
+
+// --- End-to-end: the ISSUE acceptance criteria. ---
+
+class ObsEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(LoadCsvText(db_, "EDGE", "1,2\n2,3\n3,1\n").ok());
+  }
+
+  Compiler compiler_;
+  Database db_;
+};
+
+TEST_F(ObsEndToEndTest, SingleTraceContainsCompileAndExecSpans) {
+  obs::Tracer tracer;
+  ScopedTracer scope(&tracer);
+
+  auto q = compiler_.Compile("{x | exists y (EDGE(x, y) and EDGE(y, x))}");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto answer = q->Run(db_);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+
+  std::set<std::string> names;
+  for (const obs::TraceEvent& e : tracer.Snapshot()) names.insert(e.name);
+  // Compile-phase spans...
+  for (const char* expected :
+       {"compile", "compile.parse", "compile.translate", "compile.rectify",
+        "compile.safety", "compile.enf", "compile.ranf",
+        "compile.algebra_gen", "compile.optimize", "compile.lower",
+        "safety.em_allowed", "finds.bd", "algebra.optimize", "exec.lower"}) {
+    EXPECT_TRUE(names.count(expected)) << "missing span: " << expected;
+  }
+  // ...and per-operator execution spans in the same trace.
+  EXPECT_TRUE(names.count("exec.run"));
+  EXPECT_TRUE(names.count("exec.execute"));
+  EXPECT_TRUE(names.count("Scan")) << "no per-operator span recorded";
+
+  // The whole trace exports as valid Chrome trace JSON.
+  auto doc = obs::ParseJson(tracer.ToChromeTraceJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const obs::JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->array.size(), tracer.size());
+}
+
+TEST_F(ObsEndToEndTest, ExplainCompilePhasesCoverTotalWall) {
+  // Phase durations must account for (nearly) the whole compile: take the
+  // best coverage over several compiles to keep the check robust against
+  // scheduler noise on a microsecond-scale measurement.
+  double best = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto q = compiler_.Compile(
+        "{x | exists y (EDGE(x, y) and not exists z (EDGE(y, z) and "
+        "EDGE(z, x)))}");
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    const obs::CompilePhase& profile = q->compile_profile();
+    ASSERT_GT(profile.wall_ns, 0u);
+    double coverage = static_cast<double>(obs::ChildWallNs(profile)) /
+                      static_cast<double>(profile.wall_ns);
+    EXPECT_LE(coverage, 1.0 + 1e-9);
+    best = std::max(best, coverage);
+  }
+  EXPECT_GE(best, 0.9) << "compile phases account for <90% of wall time";
+
+  auto q = compiler_.Compile("{x | exists y (EDGE(x, y))}");
+  ASSERT_TRUE(q.ok());
+  std::string report = q->ExplainCompile();
+  for (const char* phase : {"parse", "translate", "safety", "enf", "ranf",
+                            "algebra_gen", "optimize", "lower"}) {
+    EXPECT_NE(report.find(phase), std::string::npos)
+        << "ExplainCompile missing phase: " << phase << "\n" << report;
+  }
+}
+
+TEST_F(ObsEndToEndTest, QueryLogRecordsCompileAndRunWithSharedHash) {
+  std::ostringstream out;
+  obs::QueryLog log(&out);
+  obs::QueryLog* saved = obs::GetQueryLog();
+  obs::SetQueryLog(&log);
+
+  const std::string text = "{x | exists y (EDGE(x, y))}";
+  auto q = compiler_.Compile(text);
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(q->Run(db_).ok());
+  // A rejected query logs a failed compile record.
+  auto bad = compiler_.Compile("{x | not EDGE(x, x)}");
+  EXPECT_FALSE(bad.ok());
+  obs::SetQueryLog(saved);
+
+  std::vector<obs::QueryLogRecord> records;
+  std::istringstream in(out.str());
+  std::string line;
+  while (std::getline(in, line)) {
+    auto r = obs::ParseQueryLogRecord(line);
+    ASSERT_TRUE(r.ok()) << r.status().ToString() << "\n" << line;
+    records.push_back(*std::move(r));
+  }
+  ASSERT_EQ(records.size(), 3u);
+
+  EXPECT_EQ(records[0].event, "compile");
+  EXPECT_TRUE(records[0].ok);
+  EXPECT_TRUE(records[0].em_allowed);
+  EXPECT_GT(records[0].plan_nodes, 0);
+  EXPECT_GT(records[0].wall_ns, 0u);
+  EXPECT_FALSE(records[0].phase_ns.empty());
+  EXPECT_EQ(records[0].query_hash, obs::HashQueryText(text));
+
+  EXPECT_EQ(records[1].event, "run");
+  EXPECT_TRUE(records[1].ok);
+  EXPECT_EQ(records[1].rows_out, 3u);  // every EDGE node has a successor
+  EXPECT_EQ(records[1].query_hash, records[0].query_hash);
+
+  EXPECT_EQ(records[2].event, "compile");
+  EXPECT_FALSE(records[2].ok);
+  EXPECT_FALSE(records[2].em_allowed);
+  EXPECT_FALSE(records[2].error.empty());
+}
+
+TEST_F(ObsEndToEndTest, ParameterizedQueryProfileParity) {
+  auto q = compiler_.CompileParameterized("{y | EDGE(p, y)}", {"p"});
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ExecProfile profile;
+  auto r = q->RunWithProfile(db_, {Value::Int(1)}, &profile);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 1u);
+  EXPECT_GT(profile.stats.wall_ns, 0u);
+
+  auto analyzed = q->ExplainAnalyze(db_, {Value::Int(1)});
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  EXPECT_NE(analyzed->find("rows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emcalc
