@@ -9,6 +9,8 @@
 //   show NAME               print a relation
 //   plan QUERY              show the safety analysis + plan, don't run
 //   profile QUERY           run + EXPLAIN COMPILE / EXPLAIN ANALYZE
+//   .lint QUERY             static analysis only: lint + safety diagnostics
+//   .why QUERY              explain a safety verdict (FinD blame trace)
 //   .trace FILE | .trace off   capture spans, write Chrome trace JSON
 //   .metrics                print a metrics registry snapshot
 //   .log FILE | .log off    append per-query JSON-Lines records to FILE
@@ -42,6 +44,8 @@ void PrintHelp() {
       "  show NAME               print a relation\n"
       "  plan QUERY              analyze + translate, don't run\n"
       "  profile QUERY           run with compile + execution profiles\n"
+      "  .lint QUERY             lint + safety diagnostics, don't run\n"
+      "  .why QUERY              explain the safety verdict for QUERY\n"
       "  .trace FILE | off       capture spans to a Chrome trace file\n"
       "  .metrics                print the metrics registry snapshot\n"
       "  .log FILE | off         per-query JSON-Lines log\n"
@@ -77,6 +81,35 @@ void RunQuery(emcalc::Compiler& compiler, emcalc::Database& db,
   std::printf("%s(%zu tuples, %llu produced while evaluating)\n",
               answer->ToString().c_str(), answer->size(),
               static_cast<unsigned long long>(stats.tuples_produced));
+}
+
+// `.lint`: the full diagnostic report (lint rules + safety blame).
+void LintQuery(emcalc::Compiler& compiler, const std::string& text) {
+  emcalc::QueryAnalysis analysis = compiler.Analyze(text);
+  if (analysis.diagnostics.empty()) {
+    std::printf("ok: no diagnostics\n");
+    return;
+  }
+  std::printf("%s", analysis.Render().c_str());
+}
+
+// `.why`: just the safety verdict, with the blame trace on rejection.
+void ExplainSafety(emcalc::Compiler& compiler, const std::string& text) {
+  emcalc::QueryAnalysis analysis = compiler.Analyze(text);
+  if (!analysis.parsed) {
+    std::printf("%s", analysis.Render().c_str());
+    return;
+  }
+  if (analysis.safe) {
+    std::printf("em-allowed: yes\n");
+    return;
+  }
+  std::printf("em-allowed: no\n");
+  for (const emcalc::diag::Diagnostic& d : analysis.diagnostics) {
+    if (d.severity == emcalc::diag::Severity::kError) {
+      std::printf("%s", emcalc::diag::Render(d, analysis.text).c_str());
+    }
+  }
 }
 
 // Repl-owned trace capture (the `.trace` command). Separate from the
@@ -204,6 +237,18 @@ int main() {
       } else {
         std::printf("%s", rel->ToString().c_str());
       }
+      continue;
+    }
+    if (command == ".lint") {
+      std::string rest;
+      std::getline(words, rest);
+      LintQuery(compiler, rest);
+      continue;
+    }
+    if (command == ".why") {
+      std::string rest;
+      std::getline(words, rest);
+      ExplainSafety(compiler, rest);
       continue;
     }
     if (command == "plan") {

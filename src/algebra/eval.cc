@@ -20,8 +20,8 @@ struct TupleView {
 
   const Value& at(int i) const {
     int ln = left == nullptr ? 0 : static_cast<int>(left->size());
-    if (i < ln) return (*left)[i];
-    return (*right)[i - ln];
+    if (i < ln) return (*left)[static_cast<size_t>(i)];
+    return (*right)[static_cast<size_t>(i - ln)];
   }
 };
 

@@ -43,7 +43,7 @@ const ScalarExpr* ExprFactory::RemapColumns(const ScalarExpr* e,
       EMCALC_CHECK_MSG(e->col() < static_cast<int>(map.size()),
                        "column @%d outside remap of size %zu", e->col() + 1,
                        map.size());
-      int target = map[e->col()];
+      int target = map[static_cast<size_t>(e->col())];
       EMCALC_CHECK(target >= 0);
       return target == e->col() ? e : Col(target);
     }

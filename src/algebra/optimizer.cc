@@ -36,7 +36,7 @@ const ScalarExpr* Compose(ExprFactory& exprs, const ScalarExpr* outer,
   switch (outer->kind()) {
     case ScalarExpr::Kind::kCol:
       EMCALC_CHECK(outer->col() < static_cast<int>(inner.size()));
-      return inner[outer->col()];
+      return inner[static_cast<size_t>(outer->col())];
     case ScalarExpr::Kind::kConst:
       return outer;
     case ScalarExpr::Kind::kApply: {

@@ -164,6 +164,23 @@ const Formula* AstContext::MakeForall(std::span<const Symbol> vars,
   return f;
 }
 
+void AstContext::NoteSpan(const void* node, diag::SourceSpan span) {
+  if (node == nullptr || node == true_ || node == false_) return;
+  spans_[node] = span;
+}
+
+void AstContext::InheritSpan(const void* to, const void* from) {
+  if (to == nullptr || to == from || to == true_ || to == false_) return;
+  auto src = spans_.find(from);
+  if (src == spans_.end()) return;
+  spans_.emplace(to, src->second);  // keep an existing span on `to`
+}
+
+const diag::SourceSpan* AstContext::SpanOf(const void* node) const {
+  auto it = spans_.find(node);
+  return it == spans_.end() ? nullptr : &it->second;
+}
+
 bool TermsEqual(const Term* a, const Term* b) {
   if (a == b) return true;
   if (a->kind() != b->kind()) return false;

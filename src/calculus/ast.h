@@ -19,6 +19,7 @@
 #include "src/base/arena.h"
 #include "src/base/symbol.h"
 #include "src/base/value.h"
+#include "src/diag/source.h"
 
 namespace emcalc {
 
@@ -193,11 +194,27 @@ class AstContext {
 
   Arena& arena() { return arena_; }
 
+  // --- source-span side table (src/diag/) ---
+  //
+  // The parser records the byte range of the query text each node was read
+  // from; rewrites copy spans onto replacement nodes with InheritSpan.
+  // Programmatically built nodes simply have no entry, so every consumer
+  // must treat SpanOf as optional. The shared kTrue/kFalse singletons never
+  // get spans (one node serves many parses).
+
+  // Records `span` for `node` (a Formula* or Term*); later calls overwrite.
+  void NoteSpan(const void* node, diag::SourceSpan span);
+  // Copies `from`'s span onto `to` if `from` has one and `to` does not.
+  void InheritSpan(const void* to, const void* from);
+  // The recorded span, or nullptr.
+  const diag::SourceSpan* SpanOf(const void* node) const;
+
  private:
   Arena arena_;
   SymbolTable symbols_;
   std::vector<Value> constants_;
   std::unordered_map<Value, uint32_t> constant_ids_;
+  std::unordered_map<const void*, diag::SourceSpan> spans_;
   const Formula* true_ = nullptr;
   const Formula* false_ = nullptr;
 };

@@ -8,6 +8,7 @@
 #include "src/base/symbol_set.h"
 #include "src/calculus/analysis.h"
 #include "src/calculus/builder.h"
+#include "src/diag/source.h"
 
 namespace emcalc {
 namespace {
@@ -35,13 +36,35 @@ struct Token {
   TokKind kind;
   std::string_view text;  // for idents / literals
   int64_t int_value = 0;
-  size_t pos = 0;  // byte offset, for error messages
+  size_t pos = 0;  // byte offset of the first character
+  size_t end = 0;  // one past the last character
 };
+
+// Renders a parse error with line/column and a caret snippet, and fills the
+// structured out-param when provided.
+Status MakeParseError(std::string_view text, size_t offset,
+                      std::string message, ParseErrorInfo* error) {
+  if (error != nullptr) {
+    error->offset = offset;
+    error->message = message;
+  }
+  std::string rendered = "parse error at " +
+                         diag::DescribePosition(text, offset) + ": " +
+                         message;
+  if (!text.empty()) {
+    rendered += "\n" + diag::CaretSnippet(
+                           text, diag::SourceSpan{
+                                     static_cast<uint32_t>(offset),
+                                     static_cast<uint32_t>(offset + 1)});
+  }
+  return InvalidArgumentError(std::move(rendered));
+}
 
 // Single-pass lexer over the input string_view.
 class Lexer {
  public:
-  explicit Lexer(std::string_view text) : text_(text) {}
+  explicit Lexer(std::string_view text, ParseErrorInfo* error)
+      : text_(text), error_(error) {}
 
   StatusOr<std::vector<Token>> Tokenize() {
     std::vector<Token> out;
@@ -60,7 +83,7 @@ class Lexer {
           ++i;
         }
         out.push_back({TokKind::kIdent, text_.substr(start, i - start), 0,
-                       start});
+                       start, i});
         continue;
       }
       if (std::isdigit(static_cast<unsigned char>(c)) ||
@@ -71,7 +94,7 @@ class Lexer {
                std::isdigit(static_cast<unsigned char>(text_[i]))) {
           ++i;
         }
-        Token t{TokKind::kInt, text_.substr(start, i - start), 0, start};
+        Token t{TokKind::kInt, text_.substr(start, i - start), 0, start, i};
         t.int_value = std::strtoll(std::string(t.text).c_str(), nullptr, 10);
         out.push_back(t);
         continue;
@@ -82,79 +105,80 @@ class Lexer {
           size_t body = i;
           while (i < text_.size() && text_[i] != '\'') ++i;
           if (i == text_.size()) {
-            return InvalidArgumentError("unterminated string literal at " +
-                                        std::to_string(start));
+            return MakeParseError(text_, start, "unterminated string literal",
+                                  error_);
           }
-          out.push_back(
-              {TokKind::kString, text_.substr(body, i - body), 0, start});
           ++i;  // closing quote
+          out.push_back({TokKind::kString,
+                         text_.substr(body, i - 1 - body), 0, start, i});
           break;
         }
         case '(':
-          out.push_back({TokKind::kLParen, {}, 0, start});
+          out.push_back({TokKind::kLParen, {}, 0, start, start + 1});
           ++i;
           break;
         case ')':
-          out.push_back({TokKind::kRParen, {}, 0, start});
+          out.push_back({TokKind::kRParen, {}, 0, start, start + 1});
           ++i;
           break;
         case '{':
-          out.push_back({TokKind::kLBrace, {}, 0, start});
+          out.push_back({TokKind::kLBrace, {}, 0, start, start + 1});
           ++i;
           break;
         case '}':
-          out.push_back({TokKind::kRBrace, {}, 0, start});
+          out.push_back({TokKind::kRBrace, {}, 0, start, start + 1});
           ++i;
           break;
         case ',':
-          out.push_back({TokKind::kComma, {}, 0, start});
+          out.push_back({TokKind::kComma, {}, 0, start, start + 1});
           ++i;
           break;
         case '|':
-          out.push_back({TokKind::kBar, {}, 0, start});
+          out.push_back({TokKind::kBar, {}, 0, start, start + 1});
           ++i;
           break;
         case '=':
-          out.push_back({TokKind::kEq, {}, 0, start});
+          out.push_back({TokKind::kEq, {}, 0, start, start + 1});
           ++i;
           break;
         case '<':
           if (i + 1 < text_.size() && text_[i + 1] == '=') {
-            out.push_back({TokKind::kLessEq, {}, 0, start});
+            out.push_back({TokKind::kLessEq, {}, 0, start, start + 2});
             i += 2;
           } else {
-            out.push_back({TokKind::kLess, {}, 0, start});
+            out.push_back({TokKind::kLess, {}, 0, start, start + 1});
             ++i;
           }
           break;
         case '>':
           if (i + 1 < text_.size() && text_[i + 1] == '=') {
-            out.push_back({TokKind::kGreaterEq, {}, 0, start});
+            out.push_back({TokKind::kGreaterEq, {}, 0, start, start + 2});
             i += 2;
           } else {
-            out.push_back({TokKind::kGreater, {}, 0, start});
+            out.push_back({TokKind::kGreater, {}, 0, start, start + 1});
             ++i;
           }
           break;
         case '!':
           if (i + 1 < text_.size() && text_[i + 1] == '=') {
-            out.push_back({TokKind::kNeq, {}, 0, start});
+            out.push_back({TokKind::kNeq, {}, 0, start, start + 2});
             i += 2;
             break;
           }
-          return InvalidArgumentError("unexpected '!' at " +
-                                      std::to_string(start));
+          return MakeParseError(text_, start, "unexpected '!'", error_);
         default:
-          return InvalidArgumentError(std::string("unexpected character '") +
-                                      c + "' at " + std::to_string(start));
+          return MakeParseError(
+              text_, start,
+              std::string("unexpected character '") + c + "'", error_);
       }
     }
-    out.push_back({TokKind::kEnd, {}, 0, text_.size()});
+    out.push_back({TokKind::kEnd, {}, 0, text_.size(), text_.size()});
     return out;
   }
 
  private:
   std::string_view text_;
+  ParseErrorInfo* error_;
 };
 
 bool IsKeyword(const Token& t, std::string_view kw) {
@@ -166,11 +190,13 @@ bool IsReserved(std::string_view word) {
          word == "forall" || word == "true" || word == "false";
 }
 
-// The parser proper. Holds the token stream and a cursor.
+// The parser proper. Holds the token stream and a cursor, and records a
+// source span for every node it builds.
 class Parser {
  public:
-  Parser(AstContext& ctx, std::vector<Token> tokens)
-      : ctx_(ctx), tokens_(std::move(tokens)) {}
+  Parser(AstContext& ctx, std::string_view text, std::vector<Token> tokens,
+         ParseErrorInfo* error)
+      : ctx_(ctx), text_(text), tokens_(std::move(tokens)), error_(error) {}
 
   StatusOr<emcalc::Query> Query() {
     if (Peek().kind == TokKind::kLBrace) {
@@ -211,15 +237,31 @@ class Parser {
 
  private:
   const Token& Peek(int ahead = 0) const {
-    size_t i = pos_ + ahead;
+    size_t i = pos_ + static_cast<size_t>(ahead);
     return i < tokens_.size() ? tokens_[i] : tokens_.back();
   }
   const Token& Advance() { return tokens_[pos_++]; }
 
+  // Byte offset just past the most recently consumed token.
+  size_t LastEnd() const {
+    return pos_ == 0 ? 0 : tokens_[pos_ - 1].end;
+  }
+
+  // Records [from, LastEnd()) as `node`'s source span.
+  template <typename NodeT>
+  const NodeT* Note(const NodeT* node, size_t from) {
+    ctx_.NoteSpan(node, diag::SourceSpan{static_cast<uint32_t>(from),
+                                         static_cast<uint32_t>(LastEnd())});
+    return node;
+  }
+
+  Status Error(size_t offset, std::string message) {
+    return MakeParseError(text_, offset, std::move(message), error_);
+  }
+
   Status Expect(TokKind kind, std::string_view what) {
     if (Peek().kind != kind) {
-      return InvalidArgumentError("expected " + std::string(what) + " at " +
-                                  std::to_string(Peek().pos));
+      return Error(Peek().pos, "expected " + std::string(what));
     }
     Advance();
     return Status::Ok();
@@ -227,8 +269,7 @@ class Parser {
 
   Status ExpectEnd() {
     if (Peek().kind != TokKind::kEnd) {
-      return InvalidArgumentError("trailing input at " +
-                                  std::to_string(Peek().pos));
+      return Error(Peek().pos, "trailing input");
     }
     return Status::Ok();
   }
@@ -237,8 +278,7 @@ class Parser {
     std::vector<Symbol> out;
     for (;;) {
       if (Peek().kind != TokKind::kIdent || IsReserved(Peek().text)) {
-        return InvalidArgumentError("expected variable name at " +
-                                    std::to_string(Peek().pos));
+        return Error(Peek().pos, "expected variable name");
       }
       out.push_back(ctx_.symbols().Intern(Advance().text));
       if (Peek().kind != TokKind::kComma) break;
@@ -250,6 +290,7 @@ class Parser {
   StatusOr<const emcalc::Formula*> Formula() { return OrFormula(); }
 
   StatusOr<const emcalc::Formula*> OrFormula() {
+    size_t start = Peek().pos;
     auto first = AndFormula();
     if (!first.ok()) return first;
     std::vector<const emcalc::Formula*> parts = {*first};
@@ -260,10 +301,11 @@ class Parser {
       parts.push_back(*next);
     }
     if (parts.size() == 1) return parts[0];
-    return builder::Or(ctx_, std::move(parts));
+    return Note(builder::Or(ctx_, std::move(parts)), start);
   }
 
   StatusOr<const emcalc::Formula*> AndFormula() {
+    size_t start = Peek().pos;
     auto first = Unary();
     if (!first.ok()) return first;
     std::vector<const emcalc::Formula*> parts = {*first};
@@ -274,15 +316,16 @@ class Parser {
       parts.push_back(*next);
     }
     if (parts.size() == 1) return parts[0];
-    return builder::And(ctx_, std::move(parts));
+    return Note(builder::And(ctx_, std::move(parts)), start);
   }
 
   StatusOr<const emcalc::Formula*> Unary() {
+    size_t start = Peek().pos;
     if (IsKeyword(Peek(), "not")) {
       Advance();
       auto inner = Unary();
       if (!inner.ok()) return inner;
-      return ctx_.MakeNot(*inner);
+      return Note(ctx_.MakeNot(*inner), start);
     }
     if (IsKeyword(Peek(), "exists") || IsKeyword(Peek(), "forall")) {
       bool is_exists = Peek().text == "exists";
@@ -293,8 +336,9 @@ class Parser {
       auto body = Formula();
       if (!body.ok()) return body;
       if (Status s = Expect(TokKind::kRParen, "')'"); !s.ok()) return s;
-      return is_exists ? ctx_.MakeExists(*vars, *body)
-                       : ctx_.MakeForall(*vars, *body);
+      return Note(is_exists ? ctx_.MakeExists(*vars, *body)
+                            : ctx_.MakeForall(*vars, *body),
+                  start);
     }
     if (IsKeyword(Peek(), "true")) {
       Advance();
@@ -320,6 +364,7 @@ class Parser {
   // the shape of a relation atom (identifier with argument list).
   StatusOr<const emcalc::Formula*> Atom() {
     size_t mark = pos_;
+    size_t start = Peek().pos;
     auto lhs = Term();
     if (!lhs.ok()) return lhs.status();
     TokKind comparator = Peek().kind;
@@ -332,18 +377,18 @@ class Parser {
       if (!rhs.ok()) return rhs.status();
       switch (comparator) {
         case TokKind::kEq:
-          return ctx_.MakeEq(*lhs, *rhs);
+          return Note(ctx_.MakeEq(*lhs, *rhs), start);
         case TokKind::kNeq:
-          return ctx_.MakeNeq(*lhs, *rhs);
+          return Note(ctx_.MakeNeq(*lhs, *rhs), start);
         case TokKind::kLess:
-          return ctx_.MakeLess(*lhs, *rhs);
+          return Note(ctx_.MakeLess(*lhs, *rhs), start);
         case TokKind::kLessEq:
-          return ctx_.MakeLessEq(*lhs, *rhs);
+          return Note(ctx_.MakeLessEq(*lhs, *rhs), start);
         // t1 > t2 and t1 >= t2 normalize to swapped kLess / kLessEq.
         case TokKind::kGreater:
-          return ctx_.MakeLess(*rhs, *lhs);
+          return Note(ctx_.MakeLess(*rhs, *lhs), start);
         default:
-          return ctx_.MakeLessEq(*rhs, *lhs);
+          return Note(ctx_.MakeLessEq(*rhs, *lhs), start);
       }
     }
     const emcalc::Term* t = *lhs;
@@ -351,7 +396,7 @@ class Parser {
       // Reinterpret the application as a relation atom.
       std::vector<const emcalc::Term*> args(t->args().begin(),
                                             t->args().end());
-      return ctx_.MakeRel(t->symbol(), args);
+      return Note(ctx_.MakeRel(t->symbol(), args), start);
     }
     if (t->is_var() && Peek(0).kind == TokKind::kLParen) {
       // Identifier followed by "()" (empty argument list): Term() parsed
@@ -359,27 +404,25 @@ class Parser {
       // 0-ary relation atom.
       Advance();
       if (Status s = Expect(TokKind::kRParen, "')'"); !s.ok()) return s;
-      return ctx_.MakeRel(t->symbol(), {});
+      return Note(ctx_.MakeRel(t->symbol(), {}), start);
     }
-    return InvalidArgumentError(
-        "expected a relation atom or comparison at " +
-        std::to_string(tokens_[mark].pos));
+    return Error(tokens_[mark].pos, "expected a relation atom or comparison");
   }
 
   StatusOr<const emcalc::Term*> Term() {
     const Token& t = Peek();
+    size_t start = t.pos;
     switch (t.kind) {
       case TokKind::kInt:
         Advance();
-        return ctx_.MakeConst(Value::Int(t.int_value));
+        return Note(ctx_.MakeConst(Value::Int(t.int_value)), start);
       case TokKind::kString:
         Advance();
-        return ctx_.MakeConst(Value::Str(std::string(t.text)));
+        return Note(ctx_.MakeConst(Value::Str(std::string(t.text))), start);
       case TokKind::kIdent: {
         if (IsReserved(t.text)) {
-          return InvalidArgumentError("unexpected keyword '" +
-                                      std::string(t.text) + "' at " +
-                                      std::to_string(t.pos));
+          return Error(t.pos,
+                       "unexpected keyword '" + std::string(t.text) + "'");
         }
         Symbol name = ctx_.symbols().Intern(t.text);
         Advance();
@@ -398,39 +441,43 @@ class Parser {
             Advance();
           }
           if (Status s = Expect(TokKind::kRParen, "')'"); !s.ok()) return s;
-          return ctx_.MakeApply(name, args);
+          return Note(ctx_.MakeApply(name, args), start);
         }
-        return ctx_.MakeVar(name);
+        return Note(ctx_.MakeVar(name), start);
       }
       default:
-        return InvalidArgumentError("expected a term at " +
-                                    std::to_string(t.pos));
+        return Error(t.pos, "expected a term");
     }
   }
 
   AstContext& ctx_;
+  std::string_view text_;
   std::vector<Token> tokens_;
+  ParseErrorInfo* error_;
   size_t pos_ = 0;
 };
 
 }  // namespace
 
-StatusOr<Query> ParseQuery(AstContext& ctx, std::string_view text) {
-  auto tokens = Lexer(text).Tokenize();
+StatusOr<Query> ParseQuery(AstContext& ctx, std::string_view text,
+                           ParseErrorInfo* error) {
+  auto tokens = Lexer(text, error).Tokenize();
   if (!tokens.ok()) return tokens.status();
-  return Parser(ctx, std::move(tokens).value()).Query();
+  return Parser(ctx, text, std::move(tokens).value(), error).Query();
 }
 
-StatusOr<const Formula*> ParseFormula(AstContext& ctx, std::string_view text) {
-  auto tokens = Lexer(text).Tokenize();
+StatusOr<const Formula*> ParseFormula(AstContext& ctx, std::string_view text,
+                                      ParseErrorInfo* error) {
+  auto tokens = Lexer(text, error).Tokenize();
   if (!tokens.ok()) return tokens.status();
-  return Parser(ctx, std::move(tokens).value()).WholeFormula();
+  return Parser(ctx, text, std::move(tokens).value(), error).WholeFormula();
 }
 
-StatusOr<const Term*> ParseTerm(AstContext& ctx, std::string_view text) {
-  auto tokens = Lexer(text).Tokenize();
+StatusOr<const Term*> ParseTerm(AstContext& ctx, std::string_view text,
+                                ParseErrorInfo* error) {
+  auto tokens = Lexer(text, error).Tokenize();
   if (!tokens.ok()) return tokens.status();
-  return Parser(ctx, std::move(tokens).value()).WholeTerm();
+  return Parser(ctx, text, std::move(tokens).value(), error).WholeTerm();
 }
 
 }  // namespace emcalc

@@ -33,14 +33,29 @@
 
 namespace emcalc {
 
-// Parses a query, interning names into `ctx`.
-StatusOr<Query> ParseQuery(AstContext& ctx, std::string_view text);
+// Structured description of a parse failure, for diagnostics consumers
+// (Compiler::Analyze turns it into a located diag::Diagnostic). The Status
+// message already embeds line/column and a caret snippet; this carries the
+// raw pieces.
+struct ParseErrorInfo {
+  size_t offset = 0;       // byte offset of the offending token
+  std::string message;     // bare message, without position or snippet
+};
+
+// Parses a query, interning names into `ctx`. Every formula and term node
+// built from the text gets a byte-offset source span recorded in the
+// context's span side table (see AstContext::SpanOf). On failure, `error`
+// (when non-null) receives the offset and bare message.
+StatusOr<Query> ParseQuery(AstContext& ctx, std::string_view text,
+                           ParseErrorInfo* error = nullptr);
 
 // Parses a formula (no braces form).
-StatusOr<const Formula*> ParseFormula(AstContext& ctx, std::string_view text);
+StatusOr<const Formula*> ParseFormula(AstContext& ctx, std::string_view text,
+                                      ParseErrorInfo* error = nullptr);
 
 // Parses a term (used by tests and the examples' REPL).
-StatusOr<const Term*> ParseTerm(AstContext& ctx, std::string_view text);
+StatusOr<const Term*> ParseTerm(AstContext& ctx, std::string_view text,
+                                ParseErrorInfo* error = nullptr);
 
 }  // namespace emcalc
 

@@ -6,6 +6,17 @@
 #include "src/calculus/analysis.h"
 
 namespace emcalc {
+namespace {
+
+// Rewrites carry the original node's source span onto its replacement so
+// diagnostics on rewritten trees still point into the query text.
+template <typename NodeT>
+const NodeT* Spanned(AstContext& ctx, const NodeT* built, const void* from) {
+  ctx.InheritSpan(built, from);
+  return built;
+}
+
+}  // namespace
 
 const Term* SubstituteTerm(AstContext& ctx, const Term* t,
                            const Substitution& sub) {
@@ -25,7 +36,7 @@ const Term* SubstituteTerm(AstContext& ctx, const Term* t,
         changed |= (na != a);
         args.push_back(na);
       }
-      return changed ? ctx.MakeApply(t->symbol(), args) : t;
+      return changed ? Spanned(ctx, ctx.MakeApply(t->symbol(), args), t) : t;
     }
   }
   return t;
@@ -63,7 +74,7 @@ const Formula* SubstituteFormula(AstContext& ctx, const Formula* f,
         changed |= (nt != t);
         args.push_back(nt);
       }
-      return changed ? ctx.MakeRel(f->rel(), args) : f;
+      return changed ? Spanned(ctx, ctx.MakeRel(f->rel(), args), f) : f;
     }
     case FormulaKind::kEq:
     case FormulaKind::kNeq:
@@ -74,18 +85,18 @@ const Formula* SubstituteFormula(AstContext& ctx, const Formula* f,
       if (l == f->lhs() && r == f->rhs()) return f;
       switch (f->kind()) {
         case FormulaKind::kEq:
-          return ctx.MakeEq(l, r);
+          return Spanned(ctx, ctx.MakeEq(l, r), f);
         case FormulaKind::kNeq:
-          return ctx.MakeNeq(l, r);
+          return Spanned(ctx, ctx.MakeNeq(l, r), f);
         case FormulaKind::kLess:
-          return ctx.MakeLess(l, r);
+          return Spanned(ctx, ctx.MakeLess(l, r), f);
         default:
-          return ctx.MakeLessEq(l, r);
+          return Spanned(ctx, ctx.MakeLessEq(l, r), f);
       }
     }
     case FormulaKind::kNot: {
       const Formula* c = SubstituteFormula(ctx, f->child(), sub);
-      return c == f->child() ? f : ctx.MakeNot(c);
+      return c == f->child() ? f : Spanned(ctx, ctx.MakeNot(c), f);
     }
     case FormulaKind::kAnd:
     case FormulaKind::kOr: {
@@ -98,8 +109,10 @@ const Formula* SubstituteFormula(AstContext& ctx, const Formula* f,
         children.push_back(nc);
       }
       if (!changed) return f;
-      return f->kind() == FormulaKind::kAnd ? ctx.MakeAnd(children)
-                                            : ctx.MakeOr(children);
+      return Spanned(ctx,
+                     f->kind() == FormulaKind::kAnd ? ctx.MakeAnd(children)
+                                                    : ctx.MakeOr(children),
+                     f);
     }
     case FormulaKind::kExists:
     case FormulaKind::kForall: {
@@ -122,9 +135,11 @@ const Formula* SubstituteFormula(AstContext& ctx, const Formula* f,
       if (!renames.empty()) body = SubstituteFormula(ctx, body, renames);
       const Formula* new_body = SubstituteFormula(ctx, body, inner);
       if (new_body == f->child() && renames.empty()) return f;
-      return f->kind() == FormulaKind::kExists
-                 ? ctx.MakeExists(vars, new_body)
-                 : ctx.MakeForall(vars, new_body);
+      return Spanned(ctx,
+                     f->kind() == FormulaKind::kExists
+                         ? ctx.MakeExists(vars, new_body)
+                         : ctx.MakeForall(vars, new_body),
+                     f);
     }
   }
   return f;
@@ -145,7 +160,7 @@ const Formula* RectifyRec(AstContext& ctx, const Formula* f,
       return f;
     case FormulaKind::kNot: {
       const Formula* c = RectifyRec(ctx, f->child(), used);
-      return c == f->child() ? f : ctx.MakeNot(c);
+      return c == f->child() ? f : Spanned(ctx, ctx.MakeNot(c), f);
     }
     case FormulaKind::kAnd:
     case FormulaKind::kOr: {
@@ -157,8 +172,10 @@ const Formula* RectifyRec(AstContext& ctx, const Formula* f,
         children.push_back(nc);
       }
       if (!changed) return f;
-      return f->kind() == FormulaKind::kAnd ? ctx.MakeAnd(children)
-                                            : ctx.MakeOr(children);
+      return Spanned(ctx,
+                     f->kind() == FormulaKind::kAnd ? ctx.MakeAnd(children)
+                                                    : ctx.MakeOr(children),
+                     f);
     }
     case FormulaKind::kExists:
     case FormulaKind::kForall: {
@@ -176,9 +193,11 @@ const Formula* RectifyRec(AstContext& ctx, const Formula* f,
       if (!renames.empty()) body = SubstituteFormula(ctx, body, renames);
       const Formula* new_body = RectifyRec(ctx, body, used);
       if (new_body == f->child() && renames.empty()) return f;
-      return f->kind() == FormulaKind::kExists
-                 ? ctx.MakeExists(vars, new_body)
-                 : ctx.MakeForall(vars, new_body);
+      return Spanned(ctx,
+                     f->kind() == FormulaKind::kExists
+                         ? ctx.MakeExists(vars, new_body)
+                         : ctx.MakeForall(vars, new_body),
+                     f);
     }
   }
   return f;

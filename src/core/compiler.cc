@@ -1,6 +1,10 @@
 #include "src/core/compiler.h"
 
 #include <algorithm>
+#include <cstdlib>
+
+#include "src/diag/blame.h"
+#include "src/diag/lint.h"
 
 #include "src/algebra/optimizer.h"
 #include "src/algebra/printer.h"
@@ -55,10 +59,36 @@ struct RunMetrics {
   }
 };
 
+// EMCALC_LINT=1: Compile attaches lint findings (and, on rejection, the
+// safety blame trace) to its query-log records.
+bool LintToLogEnabled() {
+  const char* v = std::getenv("EMCALC_LINT");
+  return v != nullptr && *v != '\0' && std::string_view(v) != "0";
+}
+
+// Effective bd options: fold declared inverses into the FinD analysis
+// (mirrors TranslateQuery).
+BoundOptions EffectiveBound(const TranslateOptions& options) {
+  BoundOptions bound = options.bound;
+  for (const auto& [fn, inv] : options.inverse_fns) {
+    bound.invertible_fns.Insert(fn);
+  }
+  return bound;
+}
+
+// A located diagnostic for a parse failure.
+diag::Diagnostic MakeParseDiagnostic(const ParseErrorInfo& e) {
+  diag::Diagnostic d("parse.error", diag::Severity::kError, e.message);
+  d.WithSpan(diag::SourceSpan{static_cast<uint32_t>(e.offset),
+                              static_cast<uint32_t>(e.offset + 1)});
+  return d;
+}
+
 // Emits one "compile" query-log record (no-op without an installed log).
 void LogCompile(const std::string& text, const Status& status,
                 const obs::CompilePhase& profile, const Translation* t,
-                const Query* query) {
+                const Query* query,
+                std::vector<diag::Diagnostic> diagnostics = {}) {
   obs::QueryLog* log = obs::GetQueryLog();
   if (log == nullptr) return;
   obs::QueryLogRecord r;
@@ -76,6 +106,7 @@ void LogCompile(const std::string& text, const Status& status,
     if (t->plan != nullptr) r.plan_nodes = t->plan->NodeCount();
   }
   if (query != nullptr) r.level = CountApplications(query->body);
+  r.diagnostics = std::move(diagnostics);
   log->Write(r);
 }
 
@@ -197,15 +228,21 @@ StatusOr<CompiledQuery> Compiler::Compile(std::string_view text,
   uint64_t start_ns = obs::NowNs();
   obs::CompilePhase profile;
   profile.name = "compile";
+  ParseErrorInfo parse_error;
   StatusOr<Query> q = [&] {
     obs::PhaseTimer timer(&profile, "parse", "compile.parse");
-    return ParseQuery(*ctx_, text);
+    return ParseQuery(*ctx_, text, &parse_error);
   }();
   if (!q.ok()) {
     CompileMetrics::Get().queries.Add();
     CompileMetrics::Get().errors.Add();
     profile.wall_ns = obs::NowNs() - start_ns;
-    LogCompile(std::string(text), q.status(), profile, nullptr, nullptr);
+    std::vector<diag::Diagnostic> diags;
+    if (LintToLogEnabled()) {
+      diags.push_back(MakeParseDiagnostic(parse_error));
+    }
+    LogCompile(std::string(text), q.status(), profile, nullptr, nullptr,
+               std::move(diags));
     return q.status();
   }
   return CompileImpl(*q, options, std::move(profile), start_ns,
@@ -242,11 +279,16 @@ StatusOr<CompiledQuery> Compiler::CompileImpl(const Query& q,
                                               uint64_t start_ns,
                                               std::string text) {
   CompileMetrics::Get().queries.Add();
+  // With EMCALC_LINT=1 every compile record carries the lint findings for
+  // the query as written (pre-expansion, so spans point at the source).
+  std::vector<diag::Diagnostic> log_diags;
+  const bool lint_to_log = LintToLogEnabled() && obs::GetQueryLog() != nullptr;
+  if (lint_to_log) log_diags = diag::LintQuery(*ctx_, q);
   auto fail = [&](const Status& status,
                   const Translation* t) -> StatusOr<CompiledQuery> {
     CompileMetrics::Get().errors.Add();
     profile.wall_ns = obs::NowNs() - start_ns;
-    LogCompile(text, status, profile, t, &q);
+    LogCompile(text, status, profile, t, &q, std::move(log_diags));
     return status;
   };
 
@@ -272,7 +314,20 @@ StatusOr<CompiledQuery> Compiler::CompileImpl(const Query& q,
       phase.children = std::move(translation->profile.children);
     }
   }
-  if (!translation.ok()) return fail(translation.status(), nullptr);
+  if (!translation.ok()) {
+    if (lint_to_log && translation.status().code() == StatusCode::kNotSafe) {
+      // Re-run the safety check to attach the structured blame trace; the
+      // bd sets are memoized per formula, so this costs one extra closure.
+      Query rectified{expanded.head, Rectify(*ctx_, expanded.body)};
+      EmAllowedChecker checker(*ctx_, EffectiveBound(options));
+      SafetyResult safety = checker.Check(rectified);
+      if (!safety.em_allowed) {
+        log_diags.push_back(
+            diag::BuildSafetyBlame(*ctx_, checker.bound(), safety));
+      }
+    }
+    return fail(translation.status(), nullptr);
+  }
 
   std::shared_ptr<const PhysicalPlan> physical;
   {
@@ -291,10 +346,75 @@ StatusOr<CompiledQuery> Compiler::CompileImpl(const Query& q,
 
   profile.wall_ns = obs::NowNs() - start_ns;
   CompileMetrics::Get().wall_ns.Observe(static_cast<double>(profile.wall_ns));
-  LogCompile(text, Status::Ok(), profile, &*translation, &expanded);
+  LogCompile(text, Status::Ok(), profile, &*translation, &expanded,
+             std::move(log_diags));
   return CompiledQuery(this, expanded, std::move(translation).value(),
                        std::move(profile), std::move(text),
                        std::move(physical));
+}
+
+std::string QueryAnalysis::Render() const {
+  return diag::Render(diagnostics, text);
+}
+
+std::string QueryAnalysis::ToJson() const {
+  return diag::ToJson(diagnostics, text);
+}
+
+QueryAnalysis Compiler::Analyze(std::string_view text,
+                                const TranslateOptions& options) {
+  obs::Span span("compile.analyze");
+  QueryAnalysis out;
+  out.text = std::string(text);
+
+  ParseErrorInfo parse_error;
+  StatusOr<Query> parsed = ParseQuery(*ctx_, text, &parse_error);
+  if (!parsed.ok()) {
+    out.diagnostics.push_back(MakeParseDiagnostic(parse_error));
+    return out;
+  }
+  out.parsed = true;
+
+  // Lint the freshly parsed tree — before view expansion and
+  // rectification, so findings (shadowing included) point at the source.
+  std::vector<diag::Diagnostic> lint = diag::LintQuery(*ctx_, *parsed);
+
+  // Parse/well-formedness/safety diagnostics go between lint errors and
+  // lint warnings.
+  std::vector<diag::Diagnostic> blame;
+  auto body = ExpandViews(*ctx_, parsed->body, views_);
+  if (!body.ok()) {
+    blame.emplace_back("views.error", diag::Severity::kError,
+                       body.status().message());
+  } else {
+    Query rectified{parsed->head, Rectify(*ctx_, *body)};
+    if (Status wf = CheckWellFormed(rectified, ctx_->symbols()); !wf.ok()) {
+      blame.emplace_back("query.malformed", diag::Severity::kError,
+                         wf.message());
+    } else {
+      EmAllowedChecker checker(*ctx_, EffectiveBound(options));
+      out.safety = checker.Check(rectified);
+      if (out.safety.em_allowed) {
+        out.safe = true;
+      } else {
+        blame.push_back(
+            diag::BuildSafetyBlame(*ctx_, checker.bound(), out.safety));
+      }
+    }
+  }
+
+  for (diag::Diagnostic& d : lint) {
+    if (d.severity == diag::Severity::kError) {
+      out.diagnostics.push_back(std::move(d));
+    }
+  }
+  for (diag::Diagnostic& d : blame) out.diagnostics.push_back(std::move(d));
+  for (diag::Diagnostic& d : lint) {
+    if (d.severity != diag::Severity::kError) {
+      out.diagnostics.push_back(std::move(d));
+    }
+  }
+  return out;
 }
 
 StatusOr<ParameterizedQuery> Compiler::CompileParameterized(

@@ -15,11 +15,13 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/algebra/eval.h"
 #include "src/base/status.h"
 #include "src/calculus/ast.h"
 #include "src/calculus/views.h"
+#include "src/diag/diagnostic.h"
 #include "src/exec/physical.h"
 #include "src/obs/compile_profile.h"
 #include "src/storage/database.h"
@@ -29,6 +31,30 @@
 namespace emcalc {
 
 class Compiler;
+
+// Result of Compiler::Analyze — every front-end diagnostic for a query
+// (parse errors, lint findings, well-formedness errors, the safety blame
+// trace) without generating a plan or executing anything. Lint warnings
+// are reported even for accepted queries.
+struct QueryAnalysis {
+  std::string text;     // the analyzed source, for rendering
+  bool parsed = false;  // text parsed into a query
+  bool safe = false;    // parsed, well-formed, and em-allowed
+  // Structured safety outcome (meaningful once `parsed`); on rejection its
+  // blame fields identify the failing condition and variables.
+  SafetyResult safety;
+  // Ordered report: lint errors, then parse/well-formedness/safety
+  // diagnostics, then lint warnings.
+  std::vector<diag::Diagnostic> diagnostics;
+
+  bool HasErrors() const { return diag::CountErrors(diagnostics) > 0; }
+
+  // Human-readable report with caret snippets against `text`.
+  std::string Render() const;
+  // JSON array (diagnostics schema of docs/diagnostics.md), with spans
+  // resolved to line/col.
+  std::string ToJson() const;
+};
 
 // A safety-checked, translated query ready to execute.
 class CompiledQuery {
@@ -150,6 +176,14 @@ class Compiler {
   // Parses and translates `text` ("{x | ...}" or a bare formula).
   StatusOr<CompiledQuery> Compile(std::string_view text,
                                   const TranslateOptions& options = {});
+
+  // Static analysis only: parses `text` and reports every front-end
+  // diagnostic — lint findings, well-formedness errors, and on safety
+  // rejection the full blame trace (failing subformula with source span,
+  // unbounded variables, attempted FinD derivation). Never translates,
+  // never executes. The repl's .lint/.why commands are thin wrappers.
+  QueryAnalysis Analyze(std::string_view text,
+                        const TranslateOptions& options = {});
 
   // Translates an already-built query (for programmatic construction).
   StatusOr<CompiledQuery> CompileQuery(const Query& q,

@@ -29,23 +29,23 @@ const Term* RandomQueryGen::RandomTerm(const std::vector<Symbol>& vars,
                                        bool allow_fn) {
   int roll = Pick(10);
   if (roll < 6 || vars.empty()) {
-    if (!vars.empty()) return ctx_.MakeVar(vars[Pick(static_cast<int>(vars.size()))]);
+    if (!vars.empty()) return ctx_.MakeVar(vars[PickIndex(vars.size())]);
     return ctx_.MakeConst(Value::Int(Pick(5)));
   }
   if (roll < 8 || !allow_fn || fn_names_.empty()) {
     return ctx_.MakeConst(Value::Int(Pick(5)));
   }
-  int f = Pick(static_cast<int>(fn_names_.size()));
+  size_t f = PickIndex(fn_names_.size());
   std::vector<const Term*> args;
   for (int i = 0; i < fn_arities_[f]; ++i) {
     args.push_back(
-        ctx_.MakeVar(vars[Pick(static_cast<int>(vars.size()))]));
+        ctx_.MakeVar(vars[PickIndex(vars.size())]));
   }
   return ctx_.MakeApply(fn_names_[f], args);
 }
 
 const Formula* RandomQueryGen::RelAtom(const std::vector<Symbol>& vars) {
-  int r = Pick(static_cast<int>(rel_names_.size()));
+  size_t r = PickIndex(rel_names_.size());
   std::vector<const Term*> args;
   for (int i = 0; i < rel_arities_[r]; ++i) {
     args.push_back(RandomTerm(vars, /*allow_fn=*/Flip(0.2)));
@@ -60,18 +60,18 @@ const Formula* RandomQueryGen::Conjunction(const std::vector<Symbol>& vars,
   for (int i = 0; i < n_atoms; ++i) cs.push_back(RelAtom(vars));
 
   if (!vars.empty() && !fn_names_.empty() && Flip(options_.p_function_eq)) {
-    int f = Pick(static_cast<int>(fn_names_.size()));
+    size_t f = PickIndex(fn_names_.size());
     std::vector<const Term*> args;
     for (int i = 0; i < fn_arities_[f]; ++i) {
-      args.push_back(ctx_.MakeVar(vars[Pick(static_cast<int>(vars.size()))]));
+      args.push_back(ctx_.MakeVar(vars[PickIndex(vars.size())]));
     }
     const Term* target =
-        ctx_.MakeVar(vars[Pick(static_cast<int>(vars.size()))]);
+        ctx_.MakeVar(vars[PickIndex(vars.size())]);
     cs.push_back(ctx_.MakeEq(ctx_.MakeApply(fn_names_[f], args), target));
   }
 
   if (!vars.empty() && Flip(options_.p_inequality)) {
-    const Term* a = ctx_.MakeVar(vars[Pick(static_cast<int>(vars.size()))]);
+    const Term* a = ctx_.MakeVar(vars[PickIndex(vars.size())]);
     const Term* b = RandomTerm(vars, /*allow_fn=*/true);
     switch (Pick(3)) {
       case 0:

@@ -54,7 +54,8 @@ class RandomQueryGen {
   const Term* RandomTerm(const std::vector<Symbol>& vars, bool allow_fn);
 
   bool Flip(double p) { return dist_(rng_) < p; }
-  int Pick(int n) { return static_cast<int>(rng_() % n); }
+  int Pick(int n) { return static_cast<int>(rng_() % static_cast<uint64_t>(n)); }
+  size_t PickIndex(size_t n) { return static_cast<size_t>(rng_() % n); }
 
   AstContext& ctx_;
   RandomQueryOptions options_;

@@ -16,7 +16,7 @@ void AddRandomTuples(Database& db, const std::string& name, int arity,
   EMCALC_CHECK(db.AddRelation(name, arity).ok());
   for (size_t i = 0; i < rows; ++i) {
     Tuple t;
-    t.reserve(arity);
+    t.reserve(static_cast<size_t>(arity));
     for (int c = 0; c < arity; ++c) {
       int v = pick(rng);
       if (unit(rng) < string_share) {

@@ -1,0 +1,78 @@
+#include "src/diag/blame.h"
+
+#include "src/base/check.h"
+#include "src/calculus/printer.h"
+
+namespace emcalc::diag {
+
+namespace {
+
+// Condition number for the rendered message, matching the header comment
+// of em_allowed.h (and Theorem 6.6's statement).
+int ConditionNumber(SafetyViolation v) {
+  switch (v) {
+    case SafetyViolation::kUnboundedFree:
+      return 1;
+    case SafetyViolation::kUnboundedQuantified:
+      return 2;
+    case SafetyViolation::kUnboundedNegated:
+      return 3;
+    case SafetyViolation::kNone:
+      break;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Diagnostic BuildSafetyBlame(AstContext& ctx, BoundAnalyzer& bound,
+                            const SafetyResult& r) {
+  EMCALC_CHECK_MSG(!r.em_allowed, "BuildSafetyBlame needs a rejection");
+  const SymbolTable& syms = ctx.symbols();
+
+  Diagnostic d(std::string(SafetyViolationCode(r.violation)),
+               Severity::kError,
+               "variables " + r.unbounded.ToString(syms) +
+                   " cannot be confined to a finite set");
+  if (r.blamed != nullptr) {
+    if (const SourceSpan* span = ctx.SpanOf(r.blamed)) d.WithSpan(*span);
+  }
+
+  d.AddNote("em-allowed condition (" +
+            std::to_string(ConditionNumber(r.violation)) + ") failed" +
+            (r.blamed != nullptr
+                 ? " at subformula: " + FormulaToString(ctx, r.blamed)
+                 : std::string()));
+  if (r.checked != nullptr && r.checked != r.blamed) {
+    d.AddNote("checked (after rewriting): " +
+              FormulaToString(ctx, r.checked));
+  }
+  d.AddNote("needed: " + r.blame_context.ToString(syms) + " -> " +
+            r.blame_targets.ToString(syms));
+
+  if (r.checked == nullptr) return d;
+
+  // Replay the closure derivation over bd(checked) from the context.
+  const FinDSet& bd = bound.Bound(r.checked);
+  d.AddNote("bd = " + bd.ToString(syms));
+  FinDSet::ClosureTrace trace = bd.TraceClosure(r.blame_context);
+  if (trace.steps.empty()) {
+    d.AddNote("no finiteness dependency was applicable from context " +
+              r.blame_context.ToString(syms));
+  }
+  for (const FinDSet::ClosureStep& step : trace.steps) {
+    d.AddNote("fired " + bd.finds()[step.find_index].ToString(syms) +
+              ", confining " + step.added.ToString(syms));
+  }
+  for (size_t i : trace.blocked) {
+    const FinD& f = bd.finds()[i];
+    d.AddNote("blocked " + f.ToString(syms) + ": needs " +
+              f.lhs.Minus(trace.closure).ToString(syms) +
+              ", never confined");
+  }
+  d.AddNote("closure reached " + trace.closure.ToString(syms) +
+            "; never confined: " + r.unbounded.ToString(syms));
+  return d;
+}
+
+}  // namespace emcalc::diag

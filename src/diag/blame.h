@@ -1,0 +1,30 @@
+// Turns a rejected safety check into a located, explainable diagnostic:
+// which em-allowed condition failed, at which subformula (with source
+// span), for which variables — plus the FinD closure derivation that was
+// attempted, so the user can see exactly which finiteness dependencies
+// fired and why the rejected variables were never confined.
+#ifndef EMCALC_DIAG_BLAME_H_
+#define EMCALC_DIAG_BLAME_H_
+
+#include "src/diag/diagnostic.h"
+#include "src/finds/bound.h"
+#include "src/safety/em_allowed.h"
+
+namespace emcalc::diag {
+
+// Builds the blame-trace diagnostic for a safety rejection. `bound` must be
+// the analyzer (or at least share the AstContext) the check ran against so
+// bd(r.checked) reproduces the failing entailment. Requires !r.em_allowed.
+//
+// The result's code is SafetyViolationCode(r.violation), its span (if any)
+// is the blamed subformula's, and its notes walk the FinD derivation:
+// the em-allowed condition that failed, the context, bd(checked), each
+// dependency that fired (in order, with the variables it confined), each
+// dependency blocked on never-confined variables, and the variables the
+// closure never reached.
+Diagnostic BuildSafetyBlame(AstContext& ctx, BoundAnalyzer& bound,
+                            const SafetyResult& r);
+
+}  // namespace emcalc::diag
+
+#endif  // EMCALC_DIAG_BLAME_H_

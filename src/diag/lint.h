@@ -1,0 +1,44 @@
+// The lint pass: located style/correctness findings over a parsed query,
+// reported even when the query is accepted by the safety analysis. Rules
+// (docs/diagnostics.md has the catalog with examples):
+//
+//   lint.rel-arity-conflict    error    relation used with two arities
+//   lint.fn-arity-conflict     error    function used with two arities
+//   lint.unused-quantified-var warning  quantified var unused in body
+//   lint.shadowed-var          warning  quantifier rebinds an outer name
+//   lint.unsat-equality        warning  x = c1 and x = c2 (c1 != c2)
+//   lint.function-depth        warning  deep function nesting (the closure
+//                                       level of Theorem 6.6 grows with it)
+//   lint.cross-product         warning  conjunct shares no variables with
+//                                       the rest of its conjunction
+//
+// Lint runs on the freshly parsed tree — before view expansion and
+// rectification — so findings point at what the user actually wrote.
+#ifndef EMCALC_DIAG_LINT_H_
+#define EMCALC_DIAG_LINT_H_
+
+#include <vector>
+
+#include "src/calculus/ast.h"
+#include "src/diag/diagnostic.h"
+
+namespace emcalc::diag {
+
+struct LintOptions {
+  // Warn when the maximum scalar-function nesting depth reaches this many
+  // applications. 0 disables the rule.
+  int function_depth_threshold = 4;
+};
+
+// Lints `f` (free variables are treated as the outermost scope). Findings
+// come back in source order of the traversal, errors and warnings mixed.
+std::vector<Diagnostic> LintFormula(const AstContext& ctx, const Formula* f,
+                                    const LintOptions& options = {});
+
+// Query form: lints the body.
+std::vector<Diagnostic> LintQuery(const AstContext& ctx, const Query& q,
+                                  const LintOptions& options = {});
+
+}  // namespace emcalc::diag
+
+#endif  // EMCALC_DIAG_LINT_H_

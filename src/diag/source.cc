@@ -1,0 +1,60 @@
+#include "src/diag/source.h"
+
+namespace emcalc::diag {
+
+LineCol ResolveLineCol(std::string_view source, size_t offset) {
+  if (offset > source.size()) offset = source.size();
+  LineCol out;
+  for (size_t i = 0; i < offset; ++i) {
+    if (source[i] == '\n') {
+      ++out.line;
+      out.column = 1;
+    } else {
+      ++out.column;
+    }
+  }
+  return out;
+}
+
+std::string_view LineAt(std::string_view source, size_t offset) {
+  if (offset > source.size()) offset = source.size();
+  size_t begin = offset == 0 ? std::string_view::npos
+                             : source.rfind('\n', offset - 1);
+  begin = (begin == std::string_view::npos) ? 0 : begin + 1;
+  size_t end = source.find('\n', offset);
+  if (end == std::string_view::npos) end = source.size();
+  return source.substr(begin, end - begin);
+}
+
+std::string CaretSnippet(std::string_view source, SourceSpan span,
+                         std::string_view prefix) {
+  size_t begin = span.begin;
+  if (begin > source.size()) begin = source.size();
+  std::string_view line = LineAt(source, begin);
+  size_t line_start = static_cast<size_t>(line.data() - source.data());
+  size_t col = begin - line_start;
+
+  std::string out;
+  out += prefix;
+  out += line;
+  out += "\n";
+  out += prefix;
+  out.append(col, ' ');
+  // Clip the underline to the line; always show at least the caret.
+  size_t underline_end = span.end > begin ? span.end : begin + 1;
+  size_t line_end = line_start + line.size();
+  if (underline_end > line_end) underline_end = line_end;
+  size_t len = underline_end > begin ? underline_end - begin : 1;
+  out += "^";
+  if (len > 1) out.append(len - 1, '~');
+  out += "\n";
+  return out;
+}
+
+std::string DescribePosition(std::string_view source, size_t offset) {
+  LineCol lc = ResolveLineCol(source, offset);
+  return "line " + std::to_string(lc.line) + ", column " +
+         std::to_string(lc.column);
+}
+
+}  // namespace emcalc::diag

@@ -193,8 +193,9 @@ StatusOr<Relation> EvaluateCalculus(const AstContext& ctx, const Query& q,
     // Advance mixed-radix cursor.
     int pos = static_cast<int>(q.head.size()) - 1;
     for (; pos >= 0; --pos) {
-      if (++cursor[pos] < domain->size()) break;
-      cursor[pos] = 0;
+      size_t p = static_cast<size_t>(pos);
+      if (++cursor[p] < domain->size()) break;
+      cursor[p] = 0;
     }
     if (pos < 0) break;
   }

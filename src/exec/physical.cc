@@ -20,8 +20,8 @@ struct TupleView {
 
   const Value& at(int i) const {
     int ln = left == nullptr ? 0 : static_cast<int>(left->size());
-    if (i < ln) return (*left)[i];
-    return (*right)[i - ln];
+    if (i < ln) return (*left)[static_cast<size_t>(i)];
+    return (*right)[static_cast<size_t>(i - ln)];
   }
 };
 
@@ -158,7 +158,7 @@ StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
   // as the plan's flame graph next to the compile-phase spans.
   obs::Span span(PhysOpKindName(op->kind));
   if (span.enabled()) span.SetDetail(OpDetail(op));
-  OpStats& s = stats[op->id];
+  OpStats& s = stats[static_cast<size_t>(op->id)];
   ++s.invocations;
   uint64_t start = NowNs();
   // Wrap the per-kind result so every exit path records inclusive time.

@@ -35,6 +35,31 @@ SymbolSet FinDSet::Closure(const SymbolSet& x) const {
   return result;
 }
 
+FinDSet::ClosureTrace FinDSet::TraceClosure(const SymbolSet& x) const {
+  ClosureTrace trace;
+  trace.closure = x;
+  std::vector<bool> fired(finds_.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < finds_.size(); ++i) {
+      if (fired[i]) continue;
+      const FinD& f = finds_[i];
+      if (!f.lhs.IsSubsetOf(trace.closure)) continue;
+      fired[i] = true;  // applicable: consumed even if it adds nothing
+      SymbolSet added = f.rhs.Minus(trace.closure);
+      if (added.empty()) continue;
+      trace.closure = trace.closure.Union(added);
+      trace.steps.push_back({i, std::move(added)});
+      changed = true;
+    }
+  }
+  for (size_t i = 0; i < finds_.size(); ++i) {
+    if (!fired[i]) trace.blocked.push_back(i);
+  }
+  return trace;
+}
+
 SymbolSet FinDSet::LinearClosure(const SymbolSet& x) const {
   // Beeri–Bernstein: one counter per FinD of outstanding lhs variables and
   // an index from variable to the FinDs whose lhs mentions it. Each FinD

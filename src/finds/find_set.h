@@ -35,6 +35,22 @@ class FinDSet {
   // [BB79]. Exposed separately so the benchmark can compare both.
   SymbolSet LinearClosure(const SymbolSet& x) const;
 
+  // One derivation step of a traced closure: FinD `find_index` fired and
+  // confined `added` (the rhs variables not already in the closure).
+  struct ClosureStep {
+    size_t find_index;
+    SymbolSet added;
+  };
+  // A closure computation with its full derivation, for diagnostics. Runs
+  // the same fixpoint as Closure, recording which FinDs fired in order and
+  // which never became applicable (some lhs variable never confined).
+  struct ClosureTrace {
+    SymbolSet closure;                // == Closure(x)
+    std::vector<ClosureStep> steps;   // fired FinDs, in firing order
+    std::vector<size_t> blocked;      // indices of FinDs that never fired
+  };
+  ClosureTrace TraceClosure(const SymbolSet& x) const;
+
   // True if this set entails X -> Y.
   bool Entails(const SymbolSet& x, const SymbolSet& y) const {
     return y.IsSubsetOf(LinearClosure(x));

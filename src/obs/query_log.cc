@@ -37,6 +37,9 @@ std::string QueryLogRecordToJson(const QueryLogRecord& r) {
   if (r.event == "run") {
     out += ",\"rows_out\":" + std::to_string(r.rows_out);
   }
+  if (!r.diagnostics.empty()) {
+    out += ",\"diagnostics\":" + diag::ToJson(r.diagnostics);
+  }
   out += ",\"wall_ns\":" + std::to_string(r.wall_ns);
   if (!r.phase_ns.empty()) {
     out += ",\"phases\":{";
@@ -75,6 +78,10 @@ StatusOr<QueryLogRecord> ParseQueryLogRecord(std::string_view line) {
   r.plan_nodes = static_cast<int>(json->NumberOr("plan_nodes", 0));
   r.rows_out = static_cast<uint64_t>(json->NumberOr("rows_out", 0));
   r.wall_ns = static_cast<uint64_t>(json->NumberOr("wall_ns", 0));
+  if (const JsonValue* diags = json->Find("diagnostics");
+      diags != nullptr && diags->is_array()) {
+    r.diagnostics = diag::DiagnosticsFromJson(*diags);
+  }
   if (const JsonValue* phases = json->Find("phases");
       phases != nullptr && phases->is_object()) {
     for (const auto& [name, v] : phases->object) {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/diag/diagnostic.h"
 
 namespace emcalc::obs {
 
@@ -42,6 +43,10 @@ struct QueryLogRecord {
   uint64_t rows_out = 0;  // answer rows ("run" records)
   uint64_t wall_ns = 0;   // total compile / run wall time
   std::vector<std::pair<std::string, uint64_t>> phase_ns;  // per-phase
+  // Front-end diagnostics attached to "compile" records (lint findings and,
+  // on rejection, the safety blame trace). Populated when the compiler runs
+  // with EMCALC_LINT=1; see docs/diagnostics.md for the JSON schema.
+  std::vector<diag::Diagnostic> diagnostics;
 };
 
 // FNV-1a of the query text; stable across processes.

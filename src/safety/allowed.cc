@@ -117,7 +117,13 @@ class RangeRestriction {
 class Top91Checker {
  public:
   explicit Top91Checker(AstContext& ctx)
-      : ctx_(ctx), bound_(ctx, BoundOptions{.use_reduced_covers = false}) {}
+      : ctx_(ctx), bound_(ctx, RawBoundOptions()) {}
+
+  static BoundOptions RawBoundOptions() {
+    BoundOptions o;
+    o.use_reduced_covers = false;
+    return o;
+  }
 
   bool UniformDisjunctions(const Formula* f) {
     switch (f->kind()) {

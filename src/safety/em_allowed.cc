@@ -8,6 +8,20 @@
 
 namespace emcalc {
 
+std::string_view SafetyViolationCode(SafetyViolation v) {
+  switch (v) {
+    case SafetyViolation::kNone:
+      return "";
+    case SafetyViolation::kUnboundedFree:
+      return "safety.unbounded-free";
+    case SafetyViolation::kUnboundedQuantified:
+      return "safety.unbounded-quantified";
+    case SafetyViolation::kUnboundedNegated:
+      return "safety.unbounded-negated";
+  }
+  return "";
+}
+
 SafetyResult EmAllowedChecker::CheckFormula(const Formula* f,
                                             const SymbolSet& context) {
   obs::Span span("safety.em_allowed");
@@ -24,24 +38,46 @@ SafetyResult EmAllowedChecker::CheckFormula(const Formula* f,
   return result;
 }
 
+SafetyResult EmAllowedChecker::MakeViolation(
+    SafetyViolation v, const Formula* blamed, const Formula* checked,
+    const SymbolSet& context, const SymbolSet& targets,
+    std::string_view what) {
+  AstContext& ctx = bound_.ctx();
+  const FinDSet& bd = bound_.Bound(checked);
+  SafetyResult r;
+  r.em_allowed = false;
+  r.violation = v;
+  r.blamed = blamed;
+  r.checked = checked;
+  r.blame_context = context;
+  r.blame_targets = targets;
+  r.unbounded = targets.Minus(bd.LinearClosure(context));
+  r.reason = std::string(what) + " " + targets.ToString(ctx.symbols()) +
+             " not bounded in " + FormulaToString(ctx, blamed) +
+             " (bd = " + bd.ToString(ctx.symbols()) + ")";
+  return r;
+}
+
 SafetyResult EmAllowedChecker::CheckImpl(const Formula* f,
                                          const SymbolSet& context) {
-  SafetyResult inner = CheckSubformulas(f);
+  SafetyResult inner = CheckSubformulas(f, f, /*under_negation=*/false);
   if (!inner.em_allowed) return inner;
   SymbolSet free = FreeVars(f);
   SymbolSet targets = free.Minus(context);
   if (!bound_.Bounds(f, context, targets)) {
-    AstContext& ctx = bound_.ctx();
-    return SafetyResult{
-        false, "free variables " + targets.ToString(ctx.symbols()) +
-                   " not bounded in " + FormulaToString(ctx, f) +
-                   " (bd = " +
-                   bound_.Bound(f).ToString(ctx.symbols()) + ")"};
+    return MakeViolation(SafetyViolation::kUnboundedFree, f, f, context,
+                         targets, "free variables");
   }
-  return SafetyResult{true, ""};
+  return SafetyResult::Accept();
 }
 
-SafetyResult EmAllowedChecker::CheckSubformulas(const Formula* f) {
+SafetyResult EmAllowedChecker::CheckSubformulas(const Formula* f,
+                                                const Formula* anchor,
+                                                bool under_negation) {
+  AstContext& ctx = bound_.ctx();
+  // Rewritten nodes (pushed negations, quantifier duals) have inherited
+  // spans where possible; fall back to the nearest spanned ancestor.
+  const Formula* here = ctx.SpanOf(f) != nullptr ? f : anchor;
   switch (f->kind()) {
     case FormulaKind::kTrue:
     case FormulaKind::kFalse:
@@ -50,45 +86,45 @@ SafetyResult EmAllowedChecker::CheckSubformulas(const Formula* f) {
     case FormulaKind::kNeq:
     case FormulaKind::kLess:
     case FormulaKind::kLessEq:
-      return SafetyResult{true, ""};
+      return SafetyResult::Accept();
     case FormulaKind::kAnd:
     case FormulaKind::kOr: {
       for (const Formula* c : f->children()) {
-        SafetyResult r = CheckSubformulas(c);
+        SafetyResult r = CheckSubformulas(c, here, under_negation);
         if (!r.em_allowed) return r;
       }
-      return SafetyResult{true, ""};
+      return SafetyResult::Accept();
     }
     case FormulaKind::kNot: {
-      const Formula* pushed = PushNotStep(bound_.ctx(), f);
-      if (pushed == f) return SafetyResult{true, ""};  // negated rel atom
-      return CheckSubformulas(pushed);
+      const Formula* pushed = PushNotStep(ctx, f);
+      if (pushed == f) return SafetyResult::Accept();  // negated rel atom
+      return CheckSubformulas(pushed, here, /*under_negation=*/true);
     }
     case FormulaKind::kExists:
     case FormulaKind::kForall: {
       // forall Y (psi) is checked as its dual not exists Y (not psi).
       const Formula* body = f->child();
       if (f->kind() == FormulaKind::kForall) {
-        const Formula* negated = bound_.ctx().MakeNot(body);
-        const Formula* pushed = PushNotStep(bound_.ctx(), negated);
+        const Formula* negated = ctx.MakeNot(body);
+        ctx.InheritSpan(negated, body);
+        const Formula* pushed = PushNotStep(ctx, negated);
         body = pushed;  // PushNotStep returns `negated` itself for rel atoms
       }
-      SafetyResult r = CheckSubformulas(body);
+      SafetyResult r = CheckSubformulas(body, here, under_negation);
       if (!r.em_allowed) return r;
       SymbolSet qvars(std::vector<Symbol>(f->vars().begin(), f->vars().end()));
       SymbolSet subcontext = FreeVars(body).Minus(qvars);
       if (!bound_.Bounds(body, subcontext, qvars)) {
-        AstContext& ctx = bound_.ctx();
-        return SafetyResult{
-            false, "quantified variables " + qvars.ToString(ctx.symbols()) +
-                       " not bounded in " + FormulaToString(ctx, f) +
-                       " (bd = " +
-                       bound_.Bound(body).ToString(ctx.symbols()) + ")"};
+        return MakeViolation(under_negation
+                                 ? SafetyViolation::kUnboundedNegated
+                                 : SafetyViolation::kUnboundedQuantified,
+                             here, body, subcontext, qvars,
+                             "quantified variables");
       }
-      return SafetyResult{true, ""};
+      return SafetyResult::Accept();
     }
   }
-  return SafetyResult{true, ""};
+  return SafetyResult::Accept();
 }
 
 SafetyResult CheckEmAllowed(AstContext& ctx, const Query& q,

@@ -20,18 +20,60 @@
 #define EMCALC_SAFETY_EM_ALLOWED_H_
 
 #include <string>
+#include <string_view>
 
 #include "src/calculus/ast.h"
 #include "src/finds/bound.h"
 
 namespace emcalc {
 
-// Outcome of a safety check, with a human-readable reason on rejection.
+// Which em-allowed condition a rejection violated. Consumers should branch
+// on this (or on SafetyViolationCode), never on the reason text.
+enum class SafetyViolation : uint8_t {
+  kNone = 0,            // accepted
+  kUnboundedFree,       // condition (1): a free variable is not bounded
+  kUnboundedQuantified, // condition (2): quantified vars not bounded
+  kUnboundedNegated,    // condition (3): (2) failed under a pushed negation
+};
+
+// Stable machine-readable code ("safety.unbounded-free", ...); empty for
+// kNone. These are the diagnostic codes used by diag::BuildSafetyBlame.
+std::string_view SafetyViolationCode(SafetyViolation v);
+
+// Outcome of a safety check. On rejection the structured fields identify
+// the violated condition, the variables that could not be confined to a
+// finite set, and the subformula to blame; `reason` remains a one-line
+// human-readable rendering for backward compatibility.
 struct SafetyResult {
   bool em_allowed = false;
   std::string reason;  // empty iff em_allowed
 
+  // --- structured blame (meaningful only when !em_allowed) ---
+  SafetyViolation violation = SafetyViolation::kNone;
+  // Variables genuinely outside the FinD closure of `blame_context` under
+  // bd(checked); never empty on rejection.
+  SymbolSet unbounded;
+  // The context X of the failing bd entailment check.
+  SymbolSet blame_context;
+  // The variables the failing check needed bounded (superset of
+  // `unbounded`): free(phi) \ X for condition (1), the quantified
+  // variables for (2)/(3).
+  SymbolSet blame_targets;
+  // Subformula to point at in the source (nearest node with a recorded
+  // span; see AstContext::SpanOf).
+  const Formula* blamed = nullptr;
+  // The formula whose bd() failed the entailment — what a consumer should
+  // recompute bd over to reproduce the derivation (may be a rewritten node
+  // distinct from `blamed`, e.g. a pushed negation or quantifier body).
+  const Formula* checked = nullptr;
+
   explicit operator bool() const { return em_allowed; }
+
+  static SafetyResult Accept() {
+    SafetyResult r;
+    r.em_allowed = true;
+    return r;
+  }
 };
 
 // Checks em-allowedness. One checker per AstContext; shares the bd cache
@@ -56,7 +98,17 @@ class EmAllowedChecker {
   SafetyResult CheckImpl(const Formula* f, const SymbolSet& context);
 
   // Condition (2)/(3) recursion; does not include the top-level condition.
-  SafetyResult CheckSubformulas(const Formula* f);
+  // `anchor` is the nearest enclosing node with a source span (rewritten
+  // nodes fall back to it for blame); `under_negation` distinguishes
+  // condition (3) from (2).
+  SafetyResult CheckSubformulas(const Formula* f, const Formula* anchor,
+                                bool under_negation);
+
+  // Builds a rejection with all structured fields populated.
+  SafetyResult MakeViolation(SafetyViolation v, const Formula* blamed,
+                             const Formula* checked, const SymbolSet& context,
+                             const SymbolSet& targets,
+                             std::string_view what);
 
   BoundAnalyzer bound_;
 };

@@ -6,6 +6,17 @@
 #include "src/calculus/builder.h"
 
 namespace emcalc {
+namespace {
+
+// Negation-pushing builds replacement nodes; carry the source span of the
+// formula being rewritten so safety blame can still locate them.
+const Formula* Spanned(AstContext& ctx, const Formula* built,
+                       const Formula* from) {
+  ctx.InheritSpan(built, from);
+  return built;
+}
+
+}  // namespace
 
 const Formula* PushNotStep(AstContext& ctx, const Formula* f) {
   EMCALC_CHECK(f->kind() == FormulaKind::kNot);
@@ -18,40 +29,46 @@ const Formula* PushNotStep(AstContext& ctx, const Formula* f) {
     case FormulaKind::kRel:
       return f;  // negated finite-relation atom: nothing to push
     case FormulaKind::kEq:
-      return ctx.MakeNeq(g->lhs(), g->rhs());
+      return Spanned(ctx, ctx.MakeNeq(g->lhs(), g->rhs()), f);
     case FormulaKind::kNeq:
-      return ctx.MakeEq(g->lhs(), g->rhs());
+      return Spanned(ctx, ctx.MakeEq(g->lhs(), g->rhs()), f);
     case FormulaKind::kLess:
-      return ctx.MakeLessEq(g->rhs(), g->lhs());
+      return Spanned(ctx, ctx.MakeLessEq(g->rhs(), g->lhs()), f);
     case FormulaKind::kLessEq:
-      return ctx.MakeLess(g->rhs(), g->lhs());
+      return Spanned(ctx, ctx.MakeLess(g->rhs(), g->lhs()), f);
     case FormulaKind::kNot:
       return g->child();
     case FormulaKind::kAnd: {
       std::vector<const Formula*> parts;
       parts.reserve(g->children().size());
       for (const Formula* c : g->children()) {
-        parts.push_back(builder::Not(ctx, c));
+        parts.push_back(Spanned(ctx, builder::Not(ctx, c), c));
       }
-      return builder::Or(ctx, std::move(parts));
+      return Spanned(ctx, builder::Or(ctx, std::move(parts)), f);
     }
     case FormulaKind::kOr: {
       std::vector<const Formula*> parts;
       parts.reserve(g->children().size());
       for (const Formula* c : g->children()) {
-        parts.push_back(builder::Not(ctx, c));
+        parts.push_back(Spanned(ctx, builder::Not(ctx, c), c));
       }
-      return builder::And(ctx, std::move(parts));
+      return Spanned(ctx, builder::And(ctx, std::move(parts)), f);
     }
     case FormulaKind::kExists: {
       std::vector<Symbol> vars(g->vars().begin(), g->vars().end());
-      return builder::Forall(ctx, std::move(vars),
-                             builder::Not(ctx, g->child()));
+      return Spanned(ctx,
+                     builder::Forall(ctx, std::move(vars),
+                                     Spanned(ctx, builder::Not(ctx, g->child()),
+                                             g->child())),
+                     f);
     }
     case FormulaKind::kForall: {
       std::vector<Symbol> vars(g->vars().begin(), g->vars().end());
-      return builder::Exists(ctx, std::move(vars),
-                             builder::Not(ctx, g->child()));
+      return Spanned(ctx,
+                     builder::Exists(ctx, std::move(vars),
+                                     Spanned(ctx, builder::Not(ctx, g->child()),
+                                             g->child())),
+                     f);
     }
   }
   return f;
@@ -82,18 +99,22 @@ const Formula* NegationNormalForm(AstContext& ctx, const Formula* f) {
         children.push_back(nc);
       }
       if (!changed) return f;
-      return f->kind() == FormulaKind::kAnd
-                 ? builder::And(ctx, std::move(children))
-                 : builder::Or(ctx, std::move(children));
+      return Spanned(ctx,
+                     f->kind() == FormulaKind::kAnd
+                         ? builder::And(ctx, std::move(children))
+                         : builder::Or(ctx, std::move(children)),
+                     f);
     }
     case FormulaKind::kExists:
     case FormulaKind::kForall: {
       const Formula* body = NegationNormalForm(ctx, f->child());
       if (body == f->child()) return f;
       std::vector<Symbol> vars(f->vars().begin(), f->vars().end());
-      return f->kind() == FormulaKind::kExists
-                 ? builder::Exists(ctx, std::move(vars), body)
-                 : builder::Forall(ctx, std::move(vars), body);
+      return Spanned(ctx,
+                     f->kind() == FormulaKind::kExists
+                         ? builder::Exists(ctx, std::move(vars), body)
+                         : builder::Forall(ctx, std::move(vars), body),
+                     f);
     }
   }
   return f;

@@ -60,15 +60,16 @@ StatusOr<ValueSet> TermClosure(
     for (const ScalarFunction* fn : resolved) {
       // Enumerate argument tuples with at least one frontier component
       // (tuples entirely over older values were already applied).
-      std::vector<Value> args(fn->arity);
+      const size_t arity = static_cast<size_t>(fn->arity);
+      std::vector<Value> args(arity);
       // For simplicity enumerate over base^arity and skip all-old tuples;
       // `base` here is the closure so far.
-      std::vector<const ValueSet*> domains(fn->arity, &base);
-      std::vector<size_t> cursor(fn->arity, 0);
+      std::vector<const ValueSet*> domains(arity, &base);
+      std::vector<size_t> cursor(arity, 0);
       bool done = fn->arity > 0 && base.empty();
       while (!done) {
         bool touches_frontier = round == 0;
-        for (int i = 0; i < fn->arity; ++i) {
+        for (size_t i = 0; i < arity; ++i) {
           args[i] = (*domains[i])[cursor[i]];
           if (!touches_frontier &&
               std::binary_search(frontier.begin(), frontier.end(), args[i])) {
@@ -84,8 +85,9 @@ StatusOr<ValueSet> TermClosure(
         // Advance the mixed-radix cursor.
         int pos = fn->arity - 1;
         for (; pos >= 0; --pos) {
-          if (++cursor[pos] < domains[pos]->size()) break;
-          cursor[pos] = 0;
+          size_t p = static_cast<size_t>(pos);
+          if (++cursor[p] < domains[p]->size()) break;
+          cursor[p] = 0;
         }
         if (pos < 0) done = true;
         if (fn->arity == 0) done = true;

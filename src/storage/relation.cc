@@ -94,7 +94,7 @@ Relation Relation::UnionWith(const Relation& other) && {
   size_t mid = out.tuples_.size();
   out.tuples_.insert(out.tuples_.end(), other.tuples_.begin(),
                      other.tuples_.end());
-  std::inplace_merge(out.tuples_.begin(), out.tuples_.begin() + mid,
+  std::inplace_merge(out.tuples_.begin(), out.tuples_.begin() + static_cast<ptrdiff_t>(mid),
                      out.tuples_.end());
   out.tuples_.erase(std::unique(out.tuples_.begin(), out.tuples_.end()),
                     out.tuples_.end());

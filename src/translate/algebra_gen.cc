@@ -71,7 +71,7 @@ StatusOr<BoundPlan> AlgebraGenerator::ApplyRel(const BoundPlan& input,
   ext_cols.resize(static_cast<size_t>(split + rel_arity),
                   Symbol{0xffffffffu});
   for (int i = 0; i < rel_arity; ++i) {
-    const Term* t = f->terms()[i];
+    const Term* t = f->terms()[static_cast<size_t>(i)];
     if (!t->is_var()) continue;
     int here = split + i;
     Symbol v = t->symbol();
@@ -89,11 +89,11 @@ StatusOr<BoundPlan> AlgebraGenerator::ApplyRel(const BoundPlan& input,
     } else {
       new_vars.push_back(v);
       new_var_col.push_back(here);
-      ext_cols[here] = v;
+      ext_cols[static_cast<size_t>(here)] = v;
     }
   }
   for (int i = 0; i < rel_arity; ++i) {
-    const Term* t = f->terms()[i];
+    const Term* t = f->terms()[static_cast<size_t>(i)];
     if (t->is_var()) continue;
     auto e = CompileTerm(t, ext_cols);
     if (!e.ok()) return e.status();

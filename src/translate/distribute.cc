@@ -60,8 +60,9 @@ const Formula* Distribute(AstContext& ctx, const Formula* f) {
         disjuncts.push_back(builder::And(ctx, std::move(conj)));
         int pos = static_cast<int>(branch_sets.size()) - 1;
         for (; pos >= 0; --pos) {
-          if (++cursor[pos] < branch_sets[pos].size()) break;
-          cursor[pos] = 0;
+          size_t p = static_cast<size_t>(pos);
+          if (++cursor[p] < branch_sets[p].size()) break;
+          cursor[p] = 0;
         }
         if (pos < 0) break;
       }

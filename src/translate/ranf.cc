@@ -140,7 +140,7 @@ StatusOr<const Formula*> ToRanf(AstContext& ctx, const Formula* f,
             if (!attempt.ok()) continue;
             avail = avail.Union(FreeVars(remaining[i]));
             ordered.push_back(*attempt);
-            remaining.erase(remaining.begin() + i);
+            remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(i));
             progress = true;
             break;
           }

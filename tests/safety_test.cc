@@ -234,9 +234,15 @@ TEST_F(SafetyTest, ContainmentOnFunctionFreeFormulas) {
   }
 }
 
-TEST_F(SafetyTest, ReasonStringsNameTheProblem) {
+TEST_F(SafetyTest, RejectionsCarryStructuredBlame) {
   SafetyResult r = CheckEmAllowed(ctx_, Parse("R(x) and not (S(y) and T(y))"));
   ASSERT_FALSE(r.em_allowed);
+  // Structured fields are the supported interface: a violation code and the
+  // set of variables that could not be confined.
+  EXPECT_NE(r.violation, SafetyViolation::kNone);
+  EXPECT_FALSE(SafetyViolationCode(r.violation).empty());
+  EXPECT_TRUE(r.unbounded.Contains(ctx_.symbols().Intern("y")));
+  // The flat reason string remains populated for backward compatibility.
   EXPECT_NE(r.reason.find("y"), std::string::npos);
 }
 
