@@ -1,0 +1,468 @@
+// Experiment E8 — flat tuple storage, value interning, and morsel
+// parallelism (the physical-layer performance work, not a paper claim).
+//
+// The baseline ("legacy_layout") reconstructs the pre-flat representation
+// exactly as the tree had it: Value = variant<int64_t, string> (40 bytes,
+// content hashing and comparison) and one heap-allocated vector<Value> per
+// tuple, with the bucket-map join EvalJoin used. Against it run the
+// symmetric hand-rolled kernels over the interned flat layout
+// ("flat_layout" — isolates the representation change) and the full
+// physical operator stack at 1, 2, and hardware threads. Rows/sec per
+// variant goes to BENCH_perf.json.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/algebra/ast.h"
+#include "src/algebra/expr.h"
+#include "src/base/thread_pool.h"
+#include "src/core/workload.h"
+#include "src/exec/join_table.h"
+#include "src/exec/lower.h"
+#include "src/exec/physical.h"
+#include "src/storage/relation.h"
+
+namespace {
+
+using emcalc::AddRandomTuples;
+using emcalc::AlgCompareOp;
+using emcalc::AlgExpr;
+using emcalc::AlgebraFactory;
+using emcalc::AstContext;
+using emcalc::Database;
+using emcalc::ExecOptions;
+using emcalc::ExprFactory;
+using emcalc::FunctionRegistry;
+using emcalc::Lower;
+using emcalc::Relation;
+using emcalc::TupleRef;
+using emcalc::Value;
+
+constexpr size_t kRows = 200'000;
+constexpr int kValuePool = 50'000;
+
+// Two data profiles per run: all-integer rows (the layout change alone) and
+// rows where a quarter of the columns hold strings (every variant pays — or
+// is spared — the string-representation cost too).
+struct DataProfile {
+  const char* name;
+  double string_share;
+};
+constexpr DataProfile kProfiles[] = {{"ints", 0.0}, {"mixed", 0.25}};
+
+Database MakeInstance(size_t rows, double string_share) {
+  Database db;
+  AddRandomTuples(db, "R", 2, rows, kValuePool, /*seed=*/11, string_share);
+  AddRandomTuples(db, "S", 2, rows, kValuePool, /*seed=*/23, string_share);
+  return db;
+}
+
+// ---- The pre-flat representation, verbatim from the seed tree ----------
+
+// Old Value: variant ordering (ints before strings) and the old mix-or-
+// string-content hash.
+using OldValue = std::variant<int64_t, std::string>;
+using OldTuple = std::vector<OldValue>;
+
+size_t OldHash(const OldValue& v) {
+  if (const int64_t* n = std::get_if<int64_t>(&v)) {
+    uint64_t x = static_cast<uint64_t>(*n);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<size_t>(x);
+  }
+  return std::hash<std::string>()(std::get<std::string>(v)) ^
+         0x9e3779b97f4a7c15ULL;
+}
+
+struct OldRelation {
+  int arity = 0;
+  std::vector<OldTuple> rows;
+
+  // The old Relation's lazy sort + dedupe, forced.
+  size_t SizeNormalized() {
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+    return rows.size();
+  }
+};
+
+OldRelation ToOldLayout(const Relation& rel) {
+  OldRelation out;
+  out.arity = rel.arity();
+  out.rows.reserve(rel.size());
+  for (TupleRef t : rel) {
+    OldTuple row;
+    row.reserve(t.size());
+    for (const Value& v : t) {
+      if (v.is_int()) {
+        row.emplace_back(v.AsInt());
+      } else {
+        row.emplace_back(std::string(v.AsStr()));
+      }
+    }
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+// The pre-flat hash join: bucket map keyed on the key value's hash with a
+// per-row key materialization and per-output Tuple concatenation — the
+// shape EvalJoin had before JoinTable over flat storage.
+size_t OldLayoutJoin(const OldRelation& left, const OldRelation& right) {
+  std::unordered_map<size_t, std::vector<const OldTuple*>> buckets;
+  buckets.reserve(right.rows.size());
+  for (const OldTuple& t : right.rows) {
+    buckets[OldHash(t[0])].push_back(&t);
+  }
+  OldRelation out;
+  out.arity = left.arity + right.arity;
+  for (const OldTuple& t : left.rows) {
+    auto it = buckets.find(OldHash(t[1]));
+    if (it == buckets.end()) continue;
+    for (const OldTuple* r : it->second) {
+      if (!((*r)[0] == t[1])) continue;
+      OldTuple joined = t;
+      joined.insert(joined.end(), r->begin(), r->end());
+      out.rows.push_back(std::move(joined));
+    }
+  }
+  return out.SizeNormalized();
+}
+
+// The pre-flat filter: per-row variant comparison, full-row copies out.
+size_t OldLayoutFilter(const OldRelation& in) {
+  OldRelation out;
+  out.arity = in.arity;
+  for (const OldTuple& t : in.rows) {
+    if (t[0] < t[1]) out.rows.push_back(t);
+  }
+  return out.SizeNormalized();
+}
+
+// The pre-flat scalar map: succ(col0) per row (the builtin's totality
+// coercion maps strings to their length), fresh row per output.
+size_t OldLayoutProject(const OldRelation& in) {
+  OldRelation out;
+  out.arity = in.arity;
+  for (const OldTuple& t : in.rows) {
+    int64_t n = std::holds_alternative<int64_t>(t[0])
+                    ? std::get<int64_t>(t[0])
+                    : static_cast<int64_t>(std::get<std::string>(t[0]).size());
+    out.rows.push_back(OldTuple{OldValue(n + 1), t[1]});
+  }
+  return out.SizeNormalized();
+}
+
+// ---- Symmetric kernels over the interned flat layout -------------------
+// Same algorithm class and per-row work as the Old* kernels, so this pair
+// isolates the storage representation: 8-byte trivially-copyable values in
+// one contiguous arity-strided array vs a heap vector of variants per row.
+
+size_t FlatLayoutJoin(const Relation& left, const Relation& right) {
+  size_t bn = right.size();
+  std::vector<Value> keys(bn);
+  std::vector<uint64_t> hashes(bn);
+  std::vector<uint32_t> rows(bn);
+  for (size_t i = 0; i < bn; ++i) {
+    keys[i] = right.row(i)[0];
+    hashes[i] = keys[i].Hash();
+    rows[i] = static_cast<uint32_t>(i);
+  }
+  emcalc::JoinTable table;
+  table.Build(keys.data(), hashes.data(), /*nk=*/1, rows.data(), bn);
+  Relation out(left.arity() + right.arity());
+  out.Reserve(left.size());
+  Value row[4];
+  for (TupleRef t : left) {
+    Value key = t[1];
+    table.ForEachMatch(key.Hash(), &key, [&](uint32_t r) {
+      TupleRef b = right.row(r);
+      row[0] = t[0];
+      row[1] = t[1];
+      row[2] = b[0];
+      row[3] = b[1];
+      out.AppendRow(row);
+    });
+  }
+  return out.size();
+}
+
+size_t FlatLayoutFilter(const Relation& in) {
+  Relation out(in.arity());
+  for (TupleRef t : in) {
+    if (t[0] < t[1]) out.AppendRow(t.data());
+  }
+  return out.size();
+}
+
+size_t FlatLayoutProject(const Relation& in) {
+  Relation out(in.arity());
+  Value row[2];
+  for (TupleRef t : in) {
+    int64_t n = t[0].is_int()
+                    ? t[0].AsInt()
+                    : static_cast<int64_t>(t[0].AsStr().size());
+    row[0] = Value::Int(n + 1);
+    row[1] = t[1];
+    out.AppendRow(row);
+  }
+  return out.size();
+}
+
+// ---- The full physical operator stack ----------------------------------
+
+struct Plans {
+  const AlgExpr* join = nullptr;
+  const AlgExpr* filter = nullptr;
+  const AlgExpr* project = nullptr;
+};
+
+Plans MakePlans(AstContext& ctx, AlgebraFactory& factory) {
+  ExprFactory e(ctx);
+  Plans p;
+  // R(a, b) |x|_{b = c} S(c, d)
+  p.join = factory.Join({{e.Col(1), AlgCompareOp::kEq, e.Col(2)}},
+                        factory.Rel("R", 2), factory.Rel("S", 2));
+  p.filter = factory.Select({{e.Col(0), AlgCompareOp::kLt, e.Col(1)}},
+                            factory.Rel("R", 2));
+  emcalc::Symbol succ = ctx.symbols().Intern("succ");
+  const emcalc::ScalarExpr* args[] = {e.Col(0)};
+  p.project =
+      factory.Project({e.Apply(succ, args), e.Col(1)}, factory.Rel("R", 2));
+  return p;
+}
+
+// Best-of-reps wall time of one flat execution at `threads` workers.
+uint64_t FlatWallNs(const AstContext& ctx, const AlgExpr* plan,
+                    const Database& db, const FunctionRegistry& registry,
+                    size_t threads, size_t* out_rows, int reps = 3) {
+  ExecOptions options;
+  options.num_threads = threads;
+  auto physical = Lower(ctx, plan, registry, options);
+  if (!physical.ok()) return 0;
+  uint64_t best = UINT64_MAX;
+  for (int i = 0; i < reps; ++i) {
+    uint64_t start = emcalc::obs::NowNs();
+    auto r = physical->ExecuteToRelation(db);
+    uint64_t wall = emcalc::obs::NowNs() - start;
+    if (!r.ok()) return 0;
+    *out_rows = r->size();
+    if (wall < best) best = wall;
+  }
+  return best;
+}
+
+template <typename Fn>
+uint64_t KernelWallNs(Fn&& fn, size_t* out_rows, int reps = 3) {
+  uint64_t best = UINT64_MAX;
+  for (int i = 0; i < reps; ++i) {
+    uint64_t start = emcalc::obs::NowNs();
+    *out_rows = fn();
+    uint64_t wall = emcalc::obs::NowNs() - start;
+    if (wall < best) best = wall;
+  }
+  return best;
+}
+
+void EmitRecord(const char* data, const char* op, const char* variant,
+                size_t threads, size_t rows_in, size_t rows_out,
+                uint64_t wall_ns) {
+  double rows_per_sec =
+      wall_ns > 0 ? static_cast<double>(rows_in) * 1e9 /
+                        static_cast<double>(wall_ns)
+                  : 0.0;
+  std::string fields = "\"bench\":\"flat_exec\"";
+  fields += ",\"data\":\"" + std::string(data) + "\"";
+  fields += ",\"op\":\"" + std::string(op) + "\"";
+  fields += ",\"variant\":\"" + std::string(variant) + "\"";
+  fields += ",\"threads\":" + std::to_string(threads);
+  fields += ",\"rows_in\":" + std::to_string(rows_in);
+  fields += ",\"rows_out\":" + std::to_string(rows_out);
+  fields += ",\"wall_ns\":" + std::to_string(wall_ns);
+  fields += ",\"rows_per_sec\":" + std::to_string(rows_per_sec);
+  emcalc::bench::AppendRecordLine("BENCH_perf.json", fields);
+}
+
+void ReportProfile(const DataProfile& profile) {
+  FunctionRegistry registry = emcalc::BuiltinFunctions();
+  Database db = MakeInstance(kRows, profile.string_share);
+  const Relation& flat_r = *db.Find("R");
+  const Relation& flat_s = *db.Find("S");
+  OldRelation old_r = ToOldLayout(flat_r);
+  OldRelation old_s = ToOldLayout(flat_s);
+  size_t rows_in = old_r.rows.size() + old_s.rows.size();
+
+  AstContext ctx;
+  AlgebraFactory factory(ctx);
+  Plans plans = MakePlans(ctx, factory);
+
+  const size_t hw = emcalc::ThreadPool::HardwareThreads();
+  struct Series {
+    const char* op;
+    const AlgExpr* plan;
+    size_t (*old_kernel)(const OldRelation&, const OldRelation&);
+    size_t (*flat_kernel)(const Relation&, const Relation&);
+    size_t old_rows = 0;
+    uint64_t old_ns = 0;
+    size_t flat_rows = 0;
+    uint64_t flat_ns = 0;
+  };
+  Series series[] = {
+      {"hash_join", plans.join,
+       [](const OldRelation& r, const OldRelation& s) {
+         return OldLayoutJoin(r, s);
+       },
+       [](const Relation& r, const Relation& s) {
+         return FlatLayoutJoin(r, s);
+       }},
+      {"filter_select", plans.filter,
+       [](const OldRelation& r, const OldRelation&) {
+         return OldLayoutFilter(r);
+       },
+       [](const Relation& r, const Relation&) {
+         return FlatLayoutFilter(r);
+       }},
+      {"project_map", plans.project,
+       [](const OldRelation& r, const OldRelation&) {
+         return OldLayoutProject(r);
+       },
+       [](const Relation& r, const Relation&) {
+         return FlatLayoutProject(r);
+       }},
+  };
+  for (Series& s : series) {
+    // The Old* kernels mutate their output only; inputs stay shared.
+    s.old_ns =
+        KernelWallNs([&] { return s.old_kernel(old_r, old_s); }, &s.old_rows);
+    s.flat_ns = KernelWallNs([&] { return s.flat_kernel(flat_r, flat_s); },
+                             &s.flat_rows);
+  }
+
+  std::printf("[%s] %zu+%zu input rows, %d%% string columns, hardware=%zu\n\n",
+              profile.name, old_r.rows.size(), old_s.rows.size(),
+              static_cast<int>(profile.string_share * 100), hw);
+  std::printf("%-14s %-14s %10s %12s %9s\n", "operator", "variant",
+              "wall ms", "rows/sec", "speedup");
+  for (const Series& s : series) {
+    size_t op_rows_in =
+        s.plan == plans.join ? rows_in : old_r.rows.size();
+    EmitRecord(profile.name, s.op, "legacy_layout", 1, op_rows_in, s.old_rows, s.old_ns);
+    std::printf("%-14s %-14s %10.2f %12.0f %9s\n", s.op, "legacy_layout",
+                static_cast<double>(s.old_ns) / 1e6,
+                static_cast<double>(op_rows_in) * 1e9 /
+                    static_cast<double>(s.old_ns),
+                "1.00x");
+    EmitRecord(profile.name, s.op, "flat_layout", 1, op_rows_in, s.flat_rows, s.flat_ns);
+    std::printf("%-14s %-14s %10.2f %12.0f %8.2fx\n", s.op, "flat_layout",
+                static_cast<double>(s.flat_ns) / 1e6,
+                static_cast<double>(op_rows_in) * 1e9 /
+                    static_cast<double>(s.flat_ns),
+                static_cast<double>(s.old_ns) /
+                    static_cast<double>(s.flat_ns));
+    if (s.flat_rows != s.old_rows) {
+      std::printf("  !! output mismatch: flat_layout=%zu legacy=%zu\n",
+                  s.flat_rows, s.old_rows);
+    }
+    struct Variant {
+      const char* name;
+      size_t threads;
+    };
+    const Variant variants[] = {
+        {"flat_t1", 1}, {"flat_t2", 2}, {"flat_hw", hw}};
+    uint64_t t1_ns = 0;
+    for (const Variant& v : variants) {
+      size_t out_rows = 0;
+      uint64_t ns =
+          FlatWallNs(ctx, s.plan, db, registry, v.threads, &out_rows);
+      if (v.threads == 1) t1_ns = ns;
+      EmitRecord(profile.name, s.op, v.name, v.threads, op_rows_in, out_rows, ns);
+      double speedup = ns > 0 ? static_cast<double>(s.old_ns) /
+                                    static_cast<double>(ns)
+                              : 0.0;
+      std::printf("%-14s %-14s %10.2f %12.0f %8.2fx\n", s.op, v.name,
+                  static_cast<double>(ns) / 1e6,
+                  static_cast<double>(op_rows_in) * 1e9 /
+                      static_cast<double>(ns),
+                  speedup);
+      if (out_rows != s.old_rows) {
+        std::printf("  !! output mismatch: %s=%zu legacy=%zu\n", v.name,
+                    out_rows, s.old_rows);
+      }
+      if (v.threads == 2 && t1_ns > 0 && ns > 0) {
+        std::printf("%-14s %-14s %33.2fx vs flat_t1\n", "", "",
+                    static_cast<double>(t1_ns) / static_cast<double>(ns));
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+void Report() {
+  emcalc::bench::Banner(
+      "E8: flat tuple storage, interning, and morsel parallelism",
+      "interned 8-byte values + contiguous tuple storage beat the "
+      "variant<int64,string> vector<Tuple> layout well past 3x on "
+      "join-heavy work single-threaded; the partitioned join scales past "
+      "1.5x at 2 threads (needs >1 hardware thread to show)");
+  for (const DataProfile& profile : kProfiles) {
+    ReportProfile(profile);
+  }
+}
+
+void BM_FlatJoin(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  size_t threads = static_cast<size_t>(state.range(1));
+  FunctionRegistry registry = emcalc::BuiltinFunctions();
+  Database db = MakeInstance(rows, /*string_share=*/0.25);
+  AstContext ctx;
+  AlgebraFactory factory(ctx);
+  Plans plans = MakePlans(ctx, factory);
+  ExecOptions options;
+  options.num_threads = threads;
+  auto physical = Lower(ctx, plans.join, registry, options);
+  if (!physical.ok()) {
+    state.SkipWithError("lower");
+    return;
+  }
+  for (auto _ : state) {
+    auto r = physical->ExecuteToRelation(db);
+    if (!r.ok()) {
+      state.SkipWithError("exec");
+      return;
+    }
+    benchmark::DoNotOptimize(r->size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(2 * rows) *
+                          state.iterations());
+}
+BENCHMARK(BM_FlatJoin)
+    ->Args({50'000, 1})
+    ->Args({50'000, 2})
+    ->Args({200'000, 1})
+    ->Args({200'000, 2})
+    ->Args({200'000, 0});
+
+void BM_LegacyLayoutJoin(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  Database db = MakeInstance(rows, /*string_share=*/0.25);
+  OldRelation r = ToOldLayout(*db.Find("R"));
+  OldRelation s = ToOldLayout(*db.Find("S"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OldLayoutJoin(r, s));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(2 * rows) *
+                          state.iterations());
+}
+BENCHMARK(BM_LegacyLayoutJoin)->Arg(50'000)->Arg(200'000);
+
+}  // namespace
+
+EMCALC_BENCH_MAIN(Report)

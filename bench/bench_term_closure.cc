@@ -110,6 +110,38 @@ BENCHMARK(BM_TermClosure)
     ->Args({100, 2, 1})
     ->Args({300, 1, 1});
 
+// Regression series for the hash-set frontier rewrite: membership checks
+// are O(fresh values) per round instead of a full re-sort of the closure,
+// so deep closures over large bases stay near-linear in the output size.
+// The threads dimension exercises the morsel-parallel candidate rounds.
+void BM_TermClosureLargeBase(benchmark::State& state) {
+  emcalc::FunctionRegistry reg = emcalc::BuiltinFunctions();
+  int base = static_cast<int>(state.range(0));
+  int level = static_cast<int>(state.range(1));
+  size_t threads = static_cast<size_t>(state.range(2));
+  std::vector<std::pair<std::string, int>> fns = {{"succ", 1},
+                                                  {"double", 1}};
+  size_t out_size = 0;
+  for (auto _ : state) {
+    auto closed = emcalc::TermClosure(Base(base), fns, reg, level,
+                                      50'000'000, threads);
+    if (!closed.ok()) {
+      state.SkipWithError("budget");
+      return;
+    }
+    out_size = closed->size();
+    benchmark::DoNotOptimize(out_size);
+  }
+  state.counters["values"] = static_cast<double>(out_size);
+  state.SetItemsProcessed(static_cast<int64_t>(out_size) *
+                          state.iterations());
+}
+BENCHMARK(BM_TermClosureLargeBase)
+    ->Args({20'000, 3, 1})
+    ->Args({20'000, 3, 4})
+    ->Args({100'000, 2, 1})
+    ->Args({100'000, 2, 4});
+
 }  // namespace
 
 EMCALC_BENCH_MAIN(Report)

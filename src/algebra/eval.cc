@@ -13,15 +13,16 @@ namespace emcalc {
 namespace {
 
 // A tuple logically formed by concatenating `left` and `right` (either may
-// be null for a plain single-tuple view).
+// be empty for a plain single-tuple view). TupleRefs are two-word spans,
+// so views are passed by value.
 struct TupleView {
-  const Tuple* left;
-  const Tuple* right;
+  TupleRef left;
+  TupleRef right;
 
   const Value& at(int i) const {
-    int ln = left == nullptr ? 0 : static_cast<int>(left->size());
-    if (i < ln) return (*left)[static_cast<size_t>(i)];
-    return (*right)[static_cast<size_t>(i - ln)];
+    size_t ln = left.size();
+    if (static_cast<size_t>(i) < ln) return left[static_cast<size_t>(i)];
+    return right[static_cast<size_t>(i) - ln];
   }
 };
 
@@ -134,14 +135,14 @@ class Evaluator {
         auto in = Eval(plan->input());
         if (!in.ok()) return in;
         Relation out(plan->arity());
-        for (const Tuple& t : *in) {
-          TupleView view{&t, nullptr};
+        for (TupleRef t : *in) {
+          TupleView view{t, TupleRef()};
           Tuple row;
           row.reserve(plan->exprs().size());
           for (const ScalarExpr* e : plan->exprs()) {
             row.push_back(EvalExpr(e, view));
           }
-          out.Insert(std::move(row));
+          out.Insert(row);
         }
         Count(in->size(), out.size());
         return out;
@@ -150,8 +151,8 @@ class Evaluator {
         auto in = Eval(plan->input());
         if (!in.ok()) return in;
         Relation out(plan->arity());
-        for (const Tuple& t : *in) {
-          TupleView view{&t, nullptr};
+        for (TupleRef t : *in) {
+          TupleView view{t, TupleRef()};
           if (CondsHold(plan->conds(), view)) out.Insert(t);
         }
         Count(in->size(), out.size());
@@ -179,7 +180,7 @@ class Evaluator {
       }
       case AlgKind::kUnit: {
         Relation out(0);
-        out.Insert({});
+        out.Insert(Tuple{});
         Count(0, 1);
         return out;
       }
@@ -309,19 +310,19 @@ class Evaluator {
     }
 
     Relation out(plan->arity());
-    auto emit = [&](const Tuple& a, const Tuple& b) {
-      TupleView joined{&a, &b};
+    auto emit = [&](TupleRef a, TupleRef b) {
+      TupleView joined{a, b};
       if (!residual.empty() && !CondsHold(residual, joined)) return;
       Tuple row;
       row.reserve(a.size() + b.size());
       row.insert(row.end(), a.begin(), a.end());
       row.insert(row.end(), b.begin(), b.end());
-      out.Insert(std::move(row));
+      out.Insert(row);
     };
 
     if (keys.empty()) {
-      for (const Tuple& a : *l) {
-        for (const Tuple& b : *r) emit(a, b);
+      for (TupleRef a : *l) {
+        for (TupleRef b : *r) emit(a, b);
       }
     } else {
       // Hash the right side on its key expressions. Right-side column
@@ -334,25 +335,25 @@ class Evaluator {
         for (const Value& v : key) h = h * 1099511628211ULL ^ v.Hash();
         return h;
       };
-      std::unordered_map<size_t, std::vector<std::pair<std::vector<Value>,
-                                                       const Tuple*>>>
+      std::unordered_map<size_t,
+                         std::vector<std::pair<std::vector<Value>, TupleRef>>>
           buckets;
-      for (const Tuple& b : *r) {
-        TupleView view{&empty_left, &b};
+      for (TupleRef b : *r) {
+        TupleView view{TupleRef(empty_left), b};
         std::vector<Value> key;
         key.reserve(keys.size());
         for (const KeyPair& k : keys) key.push_back(EvalExpr(k.right_key, view));
-        buckets[key_hash(key)].emplace_back(std::move(key), &b);
+        buckets[key_hash(key)].emplace_back(std::move(key), b);
       }
-      for (const Tuple& a : *l) {
-        TupleView view{&a, nullptr};
+      for (TupleRef a : *l) {
+        TupleView view{a, TupleRef()};
         std::vector<Value> key;
         key.reserve(keys.size());
         for (const KeyPair& k : keys) key.push_back(EvalExpr(k.left_key, view));
         auto it = buckets.find(key_hash(key));
         if (it == buckets.end()) continue;
         for (const auto& [bkey, btuple] : it->second) {
-          if (bkey == key) emit(a, *btuple);
+          if (bkey == key) emit(a, btuple);
         }
       }
     }
@@ -411,6 +412,7 @@ StatusOr<Relation> EvaluateAlgebra(const AstContext& ctx, const AlgExpr* plan,
                                    const AlgebraEvalOptions& options) {
   ExecOptions exec_options;
   exec_options.adom_budget = options.adom_budget;
+  exec_options.num_threads = options.num_threads;
   auto physical = Lower(ctx, plan, registry, exec_options);
   if (!physical.ok()) return physical.status();
   ExecProfile profile;

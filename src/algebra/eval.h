@@ -39,6 +39,11 @@ struct AlgebraEvalOptions {
   // Budget for kAdom term closures (values). The direct translation never
   // emits kAdom; only the AB88-style baseline does.
   size_t adom_budget = 10'000'000;
+  // Worker threads for the physical layer's morsel-parallel operators
+  // (forwarded to ExecOptions::num_threads). 0 means hardware
+  // concurrency; 1 disables parallelism. Results are identical for every
+  // value. Ignored by EvaluateAlgebraLegacy, which is always sequential.
+  size_t num_threads = 0;
 };
 
 // Evaluates `plan` through the physical execution layer. Fails (without

@@ -1,0 +1,115 @@
+#include "src/base/string_pool.h"
+
+#include <functional>
+
+#include "src/base/check.h"
+
+namespace emcalc {
+namespace {
+
+// Finalizer used for inline ints in Value::Hash; big ints interned here
+// must hash identically, so the mix lives in one place per payload kind.
+uint64_t MixInt(int64_t v) {
+  uint64_t x = static_cast<uint64_t>(v);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x;
+}
+
+uint64_t MixStr(std::string_view s) {
+  return std::hash<std::string_view>()(s) ^ 0x9e3779b97f4a7c15ULL;
+}
+
+// Big-endian pack of the first 8 bytes, zero-padded: prefix words compare
+// exactly like the strings' leading bytes (a shorter string that is a
+// prefix of a longer one packs smaller, since 0 sorts before every byte).
+uint64_t OrderPrefix(std::string_view s) {
+  uint64_t p = 0;
+  size_t n = s.size() < 8 ? s.size() : 8;
+  for (size_t i = 0; i < n; ++i) {
+    p |= static_cast<uint64_t>(static_cast<unsigned char>(s[i]))
+         << (56 - 8 * i);
+  }
+  return p;
+}
+
+}  // namespace
+
+StringPool& StringPool::Global() {
+  // Leaked on purpose: Values outlive every static destruction order.
+  static StringPool* pool = new StringPool();
+  return *pool;
+}
+
+uint64_t StringPool::Append(Shard& shard, size_t shard_idx, Entry entry) {
+  uint64_t index = shard.count.load(std::memory_order_relaxed);
+  size_t block = index / kBlockSize;
+  EMCALC_CHECK_MSG(block < kMaxBlocks, "string pool shard overflow");
+  Entry* storage = shard.blocks[block].load(std::memory_order_acquire);
+  if (storage == nullptr) {
+    storage = new Entry[kBlockSize];
+    shard.blocks[block].store(storage, std::memory_order_release);
+  }
+  storage[index % kBlockSize] = std::move(entry);
+  // Publish after the entry is fully written: readers that learn the id
+  // through any synchronizing channel (including this shard's mutex) see
+  // the completed entry.
+  shard.count.store(index + 1, std::memory_order_release);
+  return (index << kShardBits) | shard_idx;
+}
+
+uint64_t StringPool::InternString(std::string_view s) {
+  uint64_t hash = MixStr(s);
+  size_t shard_idx = hash & (kNumShards - 1);
+  Shard& shard = shards_[shard_idx];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.str_index.find(s);
+  if (it != shard.str_index.end()) return it->second;
+  Entry entry;
+  entry.is_str = true;
+  entry.hash = hash;
+  entry.order_prefix = OrderPrefix(s);
+  entry.str = std::string(s);
+  uint64_t id = Append(shard, shard_idx, std::move(entry));
+  // Key the index by the stored copy (stable storage), not the caller's
+  // transient view.
+  const Entry& stored = Get(id);
+  shard.str_index.emplace(std::string_view(stored.str), id);
+  return id;
+}
+
+uint64_t StringPool::InternBigInt(int64_t v) {
+  uint64_t hash = MixInt(v);
+  size_t shard_idx = hash & (kNumShards - 1);
+  Shard& shard = shards_[shard_idx];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.int_index.find(v);
+  if (it != shard.int_index.end()) return it->second;
+  Entry entry;
+  entry.is_str = false;
+  entry.num = v;
+  entry.hash = hash;
+  uint64_t id = Append(shard, shard_idx, std::move(entry));
+  shard.int_index.emplace(v, id);
+  return id;
+}
+
+const StringPool::Entry& StringPool::Get(uint64_t id) const {
+  const Shard& shard = shards_[id & (kNumShards - 1)];
+  uint64_t index = id >> kShardBits;
+  const Entry* storage =
+      shard.blocks[index / kBlockSize].load(std::memory_order_acquire);
+  EMCALC_CHECK_MSG(storage != nullptr, "string pool id out of range");
+  return storage[index % kBlockSize];
+}
+
+uint64_t StringPool::size() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace emcalc

@@ -10,22 +10,38 @@
 
 #include <cstdint>
 #include <string>
-#include <variant>
+#include <string_view>
+#include <type_traits>
 
 namespace emcalc {
 
-// A single domain element: an integer or a string. Ordered (ints before
-// strings) and hashable so relations can be kept as sorted sets.
+// A single domain element: an integer or a string, packed into one
+// trivially-copyable 8-byte tagged word so tuples are flat arrays and
+// copies are memcpy.
+//
+// Encoding (low bit is the tag):
+//   xxxx...xxx0  inline integer, value = rep >> 1 (arithmetic)
+//   xxxx...xxx1  id into the process StringPool, id = rep >> 1; the pool
+//                entry is a string, or an integer whose magnitude exceeds
+//                the 63-bit inline range (so the full int64 domain stays
+//                representable)
+//
+// Equality is a single word compare: interning canonicalizes pool
+// payloads, inline ints are unique by construction, and an integer is
+// pooled only when it cannot be inline. The total order (all ints by
+// value, then all strings lexicographically) and the hash resolve pooled
+// payloads through the pool, so sorted-set Relation semantics and
+// user-visible ordering match the pre-interning representation exactly.
 class Value {
  public:
-  Value() : rep_(int64_t{0}) {}
-  explicit Value(int64_t v) : rep_(v) {}
-  explicit Value(std::string v) : rep_(std::move(v)) {}
+  constexpr Value() : rep_(0) {}
+  explicit Value(int64_t v) : rep_(EncodeInt(v)) {}
+  explicit Value(std::string_view v) : rep_(EncodeStr(v)) {}
   static Value Int(int64_t v) { return Value(v); }
-  static Value Str(std::string v) { return Value(std::move(v)); }
+  static Value Str(std::string_view v) { return Value(v); }
 
-  bool is_int() const { return std::holds_alternative<int64_t>(rep_); }
-  bool is_str() const { return std::holds_alternative<std::string>(rep_); }
+  bool is_int() const { return (rep_ & 1) == 0 || !PooledIsStr(); }
+  bool is_str() const { return (rep_ & 1) == 1 && PooledIsStr(); }
 
   // Accessors abort on kind mismatch.
   int64_t AsInt() const;
@@ -43,12 +59,24 @@ class Value {
   // Renders ints as digits and strings single-quoted (e.g. 42, 'bob').
   std::string ToString() const;
 
-  // Hash combining kind and payload.
+  // Hash combining kind and payload. Pooled payloads return the hash
+  // precomputed at intern time.
   size_t Hash() const;
 
+  // The raw tagged word (hash-table keys, debugging). Equal iff equal.
+  uint64_t raw() const { return rep_; }
+
  private:
-  std::variant<int64_t, std::string> rep_;
+  static uint64_t EncodeInt(int64_t v);
+  static uint64_t EncodeStr(std::string_view v);
+  bool PooledIsStr() const;
+
+  uint64_t rep_;
 };
+
+static_assert(sizeof(Value) == 8, "Value must stay one machine word");
+static_assert(std::is_trivially_copyable_v<Value>,
+              "Value must be trivially copyable (flat tuple storage)");
 
 }  // namespace emcalc
 

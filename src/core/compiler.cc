@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "src/base/string_pool.h"
+#include "src/base/thread_pool.h"
 #include "src/diag/blame.h"
 #include "src/diag/lint.h"
 
@@ -76,6 +78,12 @@ BoundOptions EffectiveBound(const TranslateOptions& options) {
   return bound;
 }
 
+// Effective worker count of an execution: ExecOptions::num_threads with
+// the "0 = hardware concurrency" default resolved.
+uint64_t EffectiveExecThreads(size_t num_threads) {
+  return num_threads == 0 ? ThreadPool::HardwareThreads() : num_threads;
+}
+
 // A located diagnostic for a parse failure.
 diag::Diagnostic MakeParseDiagnostic(const ParseErrorInfo& e) {
   diag::Diagnostic d("parse.error", diag::Severity::kError, e.message);
@@ -106,12 +114,14 @@ void LogCompile(const std::string& text, const Status& status,
     if (t->plan != nullptr) r.plan_nodes = t->plan->NodeCount();
   }
   if (query != nullptr) r.level = CountApplications(query->body);
+  r.string_pool_size = StringPool::Global().size();
   r.diagnostics = std::move(diagnostics);
   log->Write(r);
 }
 
 void LogRunRecord(const std::string& text, bool ok, const std::string& error,
-                  uint64_t rows_out, uint64_t wall_ns) {
+                  uint64_t rows_out, uint64_t wall_ns,
+                  uint64_t exec_threads) {
   obs::QueryLog* log = obs::GetQueryLog();
   if (log == nullptr) return;
   obs::QueryLogRecord r;
@@ -122,23 +132,26 @@ void LogRunRecord(const std::string& text, bool ok, const std::string& error,
   r.error = error;
   r.rows_out = rows_out;
   r.wall_ns = wall_ns;
+  r.string_pool_size = StringPool::Global().size();
+  r.exec_threads = exec_threads;
   log->Write(r);
 }
 
 // Updates run metrics + query log for one execution attempt.
 template <typename ResultT>
 void ObserveRun(const std::string& text, const StatusOr<ResultT>& result,
-                uint64_t start_ns) {
+                uint64_t start_ns, uint64_t exec_threads) {
   uint64_t wall = obs::NowNs() - start_ns;
   RunMetrics& m = RunMetrics::Get();
   m.runs.Add();
   m.wall_ns.Observe(static_cast<double>(wall));
   if (result.ok()) {
     m.rows_out.Add(result->size());
-    LogRunRecord(text, true, "", result->size(), wall);
+    LogRunRecord(text, true, "", result->size(), wall, exec_threads);
   } else {
     m.errors.Add();
-    LogRunRecord(text, false, result.status().ToString(), 0, wall);
+    LogRunRecord(text, false, result.status().ToString(), 0, wall,
+                 exec_threads);
   }
 }
 
@@ -184,7 +197,9 @@ StatusOr<Relation> CompiledQuery::Run(const Database& db,
     return result;
   };
   auto answer = execute();
-  ObserveRun(text_, answer, start_ns);
+  ObserveRun(text_, answer, start_ns,
+             EffectiveExecThreads(
+                 physical_ != nullptr ? physical_->options().num_threads : 0));
   return answer;
 }
 
@@ -203,7 +218,9 @@ StatusOr<Relation> CompiledQuery::RunWithProfile(const Database& db,
     return physical->ExecuteToRelation(db, profile);
   };
   auto answer = execute();
-  ObserveRun(text_, answer, start_ns);
+  ObserveRun(text_, answer, start_ns,
+             EffectiveExecThreads(
+                 physical_ != nullptr ? physical_->options().num_threads : 0));
   return answer;
 }
 
@@ -531,6 +548,7 @@ StatusOr<ParameterizedQuery> Compiler::CompileParameterized(
     r.ranf_size = FormulaSize(ranf);
     r.wall_ns = profile.wall_ns;
     r.phase_ns = obs::FlattenPhases(profile);
+    r.string_pool_size = StringPool::Global().size();
     obs::GetQueryLog()->Write(r);
   }
   return ParameterizedQuery(this, std::move(q), std::move(param_syms), ranf,
@@ -570,7 +588,8 @@ StatusOr<Relation> ParameterizedQuery::Run(const Database& db,
     return EvaluateAlgebra(owner_->ctx(), *plan, db, owner_->functions(),
                            stats);
   }();
-  ObserveRun(QueryToString(owner_->ctx(), query_), answer, start_ns);
+  ObserveRun(QueryToString(owner_->ctx(), query_), answer, start_ns,
+             EffectiveExecThreads(0));
   return answer;
 }
 
@@ -586,7 +605,8 @@ StatusOr<Relation> ParameterizedQuery::RunWithProfile(
     if (!physical.ok()) return physical.status();
     return physical->ExecuteToRelation(db, profile);
   }();
-  ObserveRun(QueryToString(owner_->ctx(), query_), answer, start_ns);
+  ObserveRun(QueryToString(owner_->ctx(), query_), answer, start_ns,
+             EffectiveExecThreads(0));
   return answer;
 }
 

@@ -1,0 +1,86 @@
+// Open-addressing hash table for equi-joins, keyed on the actual key
+// values rather than on key hashes. The build side's key tuples are
+// precomputed into a flat nk-strided Value array; the table maps each key
+// to the build-row indexes carrying it. Compared with the previous
+// unordered_map<hash, vector<(key, tuple*)>> design this removes the
+// per-bucket vector allocations, keeps probes on two contiguous arrays
+// (slot metadata + flat keys), and makes collision handling explicit:
+// duplicates occupy their own slots, and a probe scans forward until it
+// hits an empty slot.
+//
+// Tables are built once and then read-only, so concurrent probing from
+// many threads needs no synchronization. The partitioned parallel join in
+// physical.cc builds one JoinTable per hash partition.
+#ifndef EMCALC_EXEC_JOIN_TABLE_H_
+#define EMCALC_EXEC_JOIN_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/value.h"
+
+namespace emcalc {
+
+class JoinTable {
+ public:
+  static constexpr uint32_t kEmpty = UINT32_MAX;
+
+  // Indexes build rows `rows[0..n)`. `keys` is the row-major, nk-strided
+  // array of every build row's key values (indexed by absolute row id);
+  // `hashes` holds the matching key hashes. The caller keeps both arrays
+  // alive and unchanged for the table's lifetime.
+  void Build(const Value* keys, const uint64_t* hashes, size_t nk,
+             const uint32_t* rows, size_t n) {
+    keys_ = keys;
+    hashes_ = hashes;
+    nk_ = nk;
+    size_t capacity = 16;
+    while (capacity < 2 * n) capacity *= 2;
+    mask_ = capacity - 1;
+    slots_.assign(capacity, Slot{0, kEmpty});
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t row = rows[i];
+      size_t pos = hashes[row] & mask_;
+      while (slots_[pos].row != kEmpty) pos = (pos + 1) & mask_;
+      slots_[pos] = Slot{hashes[row], row};
+    }
+  }
+
+  // Calls fn(row) for every build row whose key tuple equals
+  // probe_key[0..nk). Safe to call concurrently once built.
+  template <typename Fn>
+  void ForEachMatch(uint64_t hash, const Value* probe_key, Fn&& fn) const {
+    if (slots_.empty()) return;
+    size_t pos = hash & mask_;
+    while (slots_[pos].row != kEmpty) {
+      if (slots_[pos].hash == hash &&
+          KeyEquals(keys_ + size_t{slots_[pos].row} * nk_, probe_key)) {
+        fn(slots_[pos].row);
+      }
+      pos = (pos + 1) & mask_;
+    }
+  }
+
+ private:
+  struct Slot {
+    uint64_t hash;
+    uint32_t row;  // kEmpty marks a free slot
+  };
+
+  bool KeyEquals(const Value* a, const Value* b) const {
+    for (size_t i = 0; i < nk_; ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  }
+
+  const Value* keys_ = nullptr;
+  const uint64_t* hashes_ = nullptr;
+  size_t nk_ = 0;
+  size_t mask_ = 0;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace emcalc
+
+#endif  // EMCALC_EXEC_JOIN_TABLE_H_

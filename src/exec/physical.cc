@@ -5,6 +5,8 @@
 #include <optional>
 
 #include "src/base/check.h"
+#include "src/base/thread_pool.h"
+#include "src/exec/join_table.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/storage/adom.h"
@@ -13,23 +15,41 @@ namespace emcalc {
 namespace {
 
 // A tuple logically formed by concatenating `left` and `right` (either may
-// be null for a plain single-tuple view).
+// be empty for a plain single-tuple view). TupleRefs are two-word spans,
+// so views are passed by value.
 struct TupleView {
-  const Tuple* left;
-  const Tuple* right;
+  TupleRef left;
+  TupleRef right;
 
   const Value& at(int i) const {
-    int ln = left == nullptr ? 0 : static_cast<int>(left->size());
-    if (i < ln) return (*left)[static_cast<size_t>(i)];
-    return (*right)[static_cast<size_t>(i - ln)];
+    size_t ln = left.size();
+    if (static_cast<size_t>(i) < ln) return left[static_cast<size_t>(i)];
+    return right[static_cast<size_t>(i) - ln];
   }
 };
+
+// Rows per morsel. Fixed (never derived from the thread count) so morsel
+// boundaries — and therefore per-morsel output buffers — are identical for
+// every num_threads; buffers concatenated in morsel order plus a final
+// Normalize make parallel output bit-identical to sequential output.
+constexpr size_t kMorselGrain = 2048;
+// Inputs smaller than this run on the calling thread only.
+constexpr size_t kParallelThreshold = 4096;
+// Hash partitions of the parallel join build (top bits of the key hash).
+constexpr size_t kJoinPartitionBits = 6;
+constexpr size_t kJoinPartitions = size_t{1} << kJoinPartitionBits;
 
 uint64_t NowNs() {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+uint64_t KeyHash(const Value* key, size_t nk) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < nk; ++i) h = h * 1099511628211ULL ^ key[i].Hash();
+  return h;
 }
 
 std::string OpDetail(const PhysicalOp* op) {
@@ -86,10 +106,13 @@ struct ExecContext {
   const Database& db;
   std::vector<OpStats> stats;
   std::vector<std::optional<RelationPtr>> memo;
+  size_t threads;  // effective worker cap, >= 1
 
   ExecContext(const PhysicalPlan& p, const Database& d)
       : plan(p), db(d), stats(p.ops_.size()),
-        memo(static_cast<size_t>(p.num_memo_slots_)) {}
+        memo(static_cast<size_t>(p.num_memo_slots_)),
+        threads(p.options_.num_threads == 0 ? ThreadPool::HardwareThreads()
+                                            : p.options_.num_threads) {}
 
   // The value flowing between operators: `rel` is always set; `owned` is
   // set iff this operator freshly built the relation and nothing else
@@ -101,9 +124,28 @@ struct ExecContext {
 
   StatusOr<Value_> Run(const PhysicalOp* op);
 
+  bool Parallel(size_t n) const {
+    return threads > 1 && n >= kParallelThreshold;
+  }
+
+  // Folds worker-sharded counters into the operator's stats slot. Every
+  // field is a commutative sum and the shards are visited in worker-id
+  // order, so totals are identical for every thread count and schedule.
+  static void MergeShards(OpStats& s, const std::vector<OpStats>& shards) {
+    for (const OpStats& w : shards) {
+      s.function_calls += w.function_calls;
+      s.tuple_copies += w.tuple_copies;
+      s.build_rows += w.build_rows;
+      s.hash_probes += w.hash_probes;
+    }
+  }
+
   Value EvalExpr(const ScalarExpr* e, const TupleView& view, OpStats& s);
   bool CondsHold(std::span<const AlgCondition> conds, const TupleView& view,
                  OpStats& s);
+
+  StatusOr<Value_> RunHashJoin(const PhysicalOp* op, const Value_& l,
+                               const Value_& r, OpStats& s);
 };
 
 Value ExecContext::EvalExpr(const ScalarExpr* e, const TupleView& view,
@@ -153,6 +195,159 @@ bool ExecContext::CondsHold(std::span<const AlgCondition> conds,
   return true;
 }
 
+// Equi-join over the open-addressing JoinTable. Build on the right input,
+// probe with the left. Large inputs run the partitioned parallel form:
+//   1. morsel-parallel build-key computation,
+//   2. per-(morsel, partition) counts + prefix sums (sequential, O(m·P)),
+//   3. morsel-parallel scatter of build rows into partition order,
+//   4. partition-parallel table builds,
+//   5. morsel-parallel probes into per-morsel output buffers.
+// Partition contents are ordered by build-row index (the scatter respects
+// morsel order) and probe buffers concatenate in morsel order, so the
+// result — after the final Normalize — is independent of the thread count.
+StatusOr<ExecContext::Value_> ExecContext::RunHashJoin(const PhysicalOp* op,
+                                                       const Value_& l,
+                                                       const Value_& r,
+                                                       OpStats& s) {
+  const Relation& probe = *l.rel;
+  const Relation& build = *r.rel;
+  const size_t pn = probe.size();
+  const size_t bn = build.size();  // size() normalizes both inputs
+  s.rows_in += pn + bn;
+  auto out = std::make_shared<Relation>(op->arity);
+  // Empty-input short-circuit: no pairs exist, so skip key computation and
+  // table construction entirely.
+  if (bn == 0 || pn == 0) return Value_{out, out};
+  EMCALC_CHECK_MSG(bn < JoinTable::kEmpty, "join build side too large");
+
+  const size_t nk = op->keys.size();
+  Tuple empty_left(static_cast<size_t>(op->split), Value());
+  const TupleRef empty_left_ref(empty_left);
+
+  // Phase 1: build-side keys and hashes.
+  std::vector<Value> build_keys(bn * nk);
+  std::vector<uint64_t> build_hash(bn);
+  const bool parallel = Parallel(bn) || Parallel(pn);
+  const size_t max_workers = parallel ? threads : 1;
+  std::vector<OpStats> shards(max_workers);
+  ThreadPool::Global().ParallelFor(
+      bn, kMorselGrain, max_workers,
+      [&](size_t worker, size_t begin, size_t end) {
+        OpStats& ws = shards[worker];
+        for (size_t i = begin; i < end; ++i) {
+          TupleView view{empty_left_ref, build.row(i)};
+          Value* key = build_keys.data() + i * nk;
+          for (size_t j = 0; j < nk; ++j) {
+            key[j] = EvalExpr(op->keys[j].right_key, view, ws);
+          }
+          build_hash[i] = KeyHash(key, nk);
+          ++ws.build_rows;
+        }
+      });
+
+  // Phases 2-4: partition the build rows and build one table per
+  // partition. The sequential path uses a single partition.
+  const size_t num_partitions = parallel ? kJoinPartitions : 1;
+  const size_t shift = 64 - kJoinPartitionBits;
+  auto partition_of = [&](uint64_t hash) {
+    return num_partitions == 1 ? size_t{0} : hash >> shift;
+  };
+  std::vector<uint32_t> part_rows(bn);
+  std::vector<size_t> part_start(num_partitions + 1, 0);
+  std::vector<JoinTable> tables(num_partitions);
+  if (num_partitions == 1) {
+    for (size_t i = 0; i < bn; ++i) part_rows[i] = static_cast<uint32_t>(i);
+    part_start[1] = bn;
+    tables[0].Build(build_keys.data(), build_hash.data(), nk,
+                    part_rows.data(), bn);
+  } else {
+    const size_t num_morsels = (bn + kMorselGrain - 1) / kMorselGrain;
+    // counts[m * P + p]: build rows of morsel m landing in partition p.
+    std::vector<size_t> counts(num_morsels * num_partitions, 0);
+    ThreadPool::Global().ParallelFor(
+        bn, kMorselGrain, max_workers,
+        [&](size_t /*worker*/, size_t begin, size_t end) {
+          size_t* row = counts.data() + (begin / kMorselGrain) * num_partitions;
+          for (size_t i = begin; i < end; ++i) {
+            ++row[partition_of(build_hash[i])];
+          }
+        });
+    // Prefix sums in (partition, morsel) order: each (m, p) cell becomes
+    // the scatter offset for that morsel's slice of that partition.
+    size_t running = 0;
+    for (size_t p = 0; p < num_partitions; ++p) {
+      part_start[p] = running;
+      for (size_t m = 0; m < num_morsels; ++m) {
+        size_t c = counts[m * num_partitions + p];
+        counts[m * num_partitions + p] = running;
+        running += c;
+      }
+    }
+    part_start[num_partitions] = running;
+    ThreadPool::Global().ParallelFor(
+        bn, kMorselGrain, max_workers,
+        [&](size_t /*worker*/, size_t begin, size_t end) {
+          size_t* offset =
+              counts.data() + (begin / kMorselGrain) * num_partitions;
+          for (size_t i = begin; i < end; ++i) {
+            part_rows[offset[partition_of(build_hash[i])]++] =
+                static_cast<uint32_t>(i);
+          }
+        });
+    ThreadPool::Global().ParallelFor(
+        num_partitions, 1, max_workers,
+        [&](size_t /*worker*/, size_t begin, size_t end) {
+          for (size_t p = begin; p < end; ++p) {
+            tables[p].Build(build_keys.data(), build_hash.data(), nk,
+                            part_rows.data() + part_start[p],
+                            part_start[p + 1] - part_start[p]);
+          }
+        });
+  }
+
+  // Phase 5: probe. Per-morsel output buffers keep emission order
+  // deterministic; everything lands in `out` in morsel order.
+  const size_t probe_morsels = (pn + kMorselGrain - 1) / kMorselGrain;
+  std::vector<Relation> bufs;
+  bufs.reserve(probe_morsels);
+  for (size_t i = 0; i < probe_morsels; ++i) bufs.emplace_back(op->arity);
+  ThreadPool::Global().ParallelFor(
+      pn, kMorselGrain, max_workers,
+      [&](size_t worker, size_t begin, size_t end) {
+        OpStats& ws = shards[worker];
+        Relation& buf = bufs[begin / kMorselGrain];
+        std::vector<Value> key(nk);
+        Tuple row;
+        for (size_t i = begin; i < end; ++i) {
+          TupleRef a = probe.row(i);
+          TupleView view{a, TupleRef()};
+          for (size_t j = 0; j < nk; ++j) {
+            key[j] = EvalExpr(op->keys[j].left_key, view, ws);
+          }
+          ++ws.hash_probes;
+          uint64_t h = KeyHash(key.data(), nk);
+          tables[partition_of(h)].ForEachMatch(
+              h, key.data(), [&](uint32_t b_row) {
+                TupleRef b = build.row(b_row);
+                TupleView joined{a, b};
+                if (!op->conds.empty() && !CondsHold(op->conds, joined, ws)) {
+                  return;
+                }
+                row.clear();
+                row.insert(row.end(), a.begin(), a.end());
+                row.insert(row.end(), b.begin(), b.end());
+                buf.AppendRow(row.data());
+              });
+        }
+      });
+  out->Reserve(pn);  // one match per probe row is the common shape here
+  for (const Relation& buf : bufs) out->AppendAll(buf);
+  out->Normalize();
+  MergeShards(s, shards);
+  s.rows_out += out->size();
+  return Value_{out, out};
+}
+
 StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
   // One trace span per operator invocation: nested operator spans render
   // as the plan's flame graph next to the compile-phase spans.
@@ -179,33 +374,86 @@ StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
     case PhysOpKind::kProjectMap: {
       auto in = Run(op->left);
       if (!in.ok()) return done(in.status());
+      const Relation& in_rel = *in->rel;
+      const size_t n = in_rel.size();  // normalizes before the region
       auto out = std::make_shared<Relation>(op->arity);
-      out->Reserve(in->rel->size());
-      for (const Tuple& t : *in->rel) {
-        TupleView view{&t, nullptr};
-        Tuple row;
-        row.reserve(op->exprs.size());
-        for (const ScalarExpr* e : op->exprs) {
-          row.push_back(EvalExpr(e, view, s));
+      out->Reserve(n);
+      if (Parallel(n)) {
+        const size_t num_morsels = (n + kMorselGrain - 1) / kMorselGrain;
+        std::vector<Relation> bufs;
+        bufs.reserve(num_morsels);
+        for (size_t i = 0; i < num_morsels; ++i) bufs.emplace_back(op->arity);
+        std::vector<OpStats> shards(threads);
+        ThreadPool::Global().ParallelFor(
+            n, kMorselGrain, threads,
+            [&](size_t worker, size_t begin, size_t end) {
+              OpStats& ws = shards[worker];
+              Relation& buf = bufs[begin / kMorselGrain];
+              Tuple row(op->exprs.size());
+              for (size_t i = begin; i < end; ++i) {
+                TupleView view{in_rel.row(i), TupleRef()};
+                for (size_t j = 0; j < op->exprs.size(); ++j) {
+                  row[j] = EvalExpr(op->exprs[j], view, ws);
+                }
+                buf.AppendRow(row.data());
+              }
+            });
+        for (const Relation& buf : bufs) out->AppendAll(buf);
+        MergeShards(s, shards);
+      } else {
+        Tuple row(op->exprs.size());
+        for (TupleRef t : in_rel) {
+          TupleView view{t, TupleRef()};
+          for (size_t j = 0; j < op->exprs.size(); ++j) {
+            row[j] = EvalExpr(op->exprs[j], view, s);
+          }
+          out->AppendRow(row.data());
         }
-        out->Insert(std::move(row));
       }
-      s.rows_in += in->rel->size();
+      out->Normalize();
+      s.rows_in += n;
       s.rows_out += out->size();
       return done(Value_{out, out});
     }
     case PhysOpKind::kFilterSelect: {
       auto in = Run(op->left);
       if (!in.ok()) return done(in.status());
+      const Relation& in_rel = *in->rel;
+      const size_t n = in_rel.size();
       auto out = std::make_shared<Relation>(op->arity);
-      for (const Tuple& t : *in->rel) {
-        TupleView view{&t, nullptr};
-        if (CondsHold(op->conds, view, s)) {
-          out->Insert(t);
-          ++s.tuple_copies;
+      if (Parallel(n)) {
+        const size_t num_morsels = (n + kMorselGrain - 1) / kMorselGrain;
+        std::vector<Relation> bufs;
+        bufs.reserve(num_morsels);
+        for (size_t i = 0; i < num_morsels; ++i) bufs.emplace_back(op->arity);
+        std::vector<OpStats> shards(threads);
+        ThreadPool::Global().ParallelFor(
+            n, kMorselGrain, threads,
+            [&](size_t worker, size_t begin, size_t end) {
+              OpStats& ws = shards[worker];
+              Relation& buf = bufs[begin / kMorselGrain];
+              for (size_t i = begin; i < end; ++i) {
+                TupleRef t = in_rel.row(i);
+                TupleView view{t, TupleRef()};
+                if (CondsHold(op->conds, view, ws)) {
+                  buf.AppendRow(t.data());
+                  ++ws.tuple_copies;
+                }
+              }
+            });
+        for (const Relation& buf : bufs) out->AppendAll(buf);
+        MergeShards(s, shards);
+      } else {
+        for (TupleRef t : in_rel) {
+          TupleView view{t, TupleRef()};
+          if (CondsHold(op->conds, view, s)) {
+            out->Insert(t);
+            ++s.tuple_copies;
+          }
         }
       }
-      s.rows_in += in->rel->size();
+      out->Normalize();
+      s.rows_in += n;
       s.rows_out += out->size();
       return done(Value_{out, out});
     }
@@ -215,59 +463,24 @@ StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
       if (!l.ok()) return done(l.status());
       auto r = Run(op->right);
       if (!r.ok()) return done(r.status());
+      if (op->kind == PhysOpKind::kHashJoin) {
+        return done(RunHashJoin(op, *l, *r, s));
+      }
       auto out = std::make_shared<Relation>(op->arity);
-      auto emit = [&](const Tuple& a, const Tuple& b) {
-        TupleView joined{&a, &b};
-        if (!op->conds.empty() && !CondsHold(op->conds, joined, s)) return;
-        Tuple row;
-        row.reserve(a.size() + b.size());
-        row.insert(row.end(), a.begin(), a.end());
-        row.insert(row.end(), b.begin(), b.end());
-        out->Insert(std::move(row));
-      };
-      if (op->kind == PhysOpKind::kNestedLoopJoin) {
-        for (const Tuple& a : *l->rel) {
-          for (const Tuple& b : *r->rel) emit(a, b);
-        }
-      } else {
-        // Build on the right input. Right-side key expressions are written
-        // against the concatenated schema, so evaluate them through a view
-        // with an empty left part of width `split`.
-        Tuple empty_left(static_cast<size_t>(op->split), Value());
-        auto key_hash = [](const std::vector<Value>& key) {
-          size_t h = 0xcbf29ce484222325ULL;
-          for (const Value& v : key) h = h * 1099511628211ULL ^ v.Hash();
-          return h;
-        };
-        std::unordered_map<
-            size_t, std::vector<std::pair<std::vector<Value>, const Tuple*>>>
-            buckets;
-        buckets.reserve(r->rel->size());
-        for (const Tuple& b : *r->rel) {
-          TupleView view{&empty_left, &b};
-          std::vector<Value> key;
-          key.reserve(op->keys.size());
-          for (const PhysicalOp::KeyPair& k : op->keys) {
-            key.push_back(EvalExpr(k.right_key, view, s));
+      Tuple row;
+      for (TupleRef a : *l->rel) {
+        for (TupleRef b : *r->rel) {
+          TupleView joined{a, b};
+          if (!op->conds.empty() && !CondsHold(op->conds, joined, s)) {
+            continue;
           }
-          buckets[key_hash(key)].emplace_back(std::move(key), &b);
-          ++s.build_rows;
-        }
-        for (const Tuple& a : *l->rel) {
-          TupleView view{&a, nullptr};
-          std::vector<Value> key;
-          key.reserve(op->keys.size());
-          for (const PhysicalOp::KeyPair& k : op->keys) {
-            key.push_back(EvalExpr(k.left_key, view, s));
-          }
-          ++s.hash_probes;
-          auto it = buckets.find(key_hash(key));
-          if (it == buckets.end()) continue;
-          for (const auto& [bkey, btuple] : it->second) {
-            if (bkey == key) emit(a, *btuple);
-          }
+          row.clear();
+          row.insert(row.end(), a.begin(), a.end());
+          row.insert(row.end(), b.begin(), b.end());
+          out->AppendRow(row.data());
         }
       }
+      out->Normalize();
       s.rows_in += l->rel->size() + r->rel->size();
       s.rows_out += out->size();
       return done(Value_{out, out});
@@ -280,7 +493,8 @@ StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
       s.rows_in += l->rel->size() + r->rel->size();
       uint64_t copies_before = Relation::TuplesCopied();
       // Reuse an exclusively-owned input's storage when possible (union is
-      // symmetric); otherwise merge into fresh storage.
+      // symmetric); otherwise merge into fresh storage (UnionWith reserves
+      // the combined input cardinality up front).
       Relation merged(op->arity);
       if (l->owned != nullptr) {
         merged = std::move(*l->owned).UnionWith(*r->rel);
@@ -318,18 +532,18 @@ StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
       NormalizeValueSet(base);
       auto closed =
           TermClosure(std::move(base), op->adom_fns, *plan.registry_,
-                      op->adom_level, plan.options_.adom_budget);
+                      op->adom_level, plan.options_.adom_budget, threads);
       if (!closed.ok()) return done(closed.status());
       auto out = std::make_shared<Relation>(1);
       out->Reserve(closed->size());
-      for (const Value& v : *closed) out->Insert({v});
+      for (const Value& v : *closed) out->AppendRow(&v);
       s.rows_out += out->size();
       return done(Value_{out, out});
     }
     case PhysOpKind::kSingleton: {
       auto out = std::make_shared<Relation>(op->arity);
       if (op->unit) {
-        out->Insert({});
+        out->Insert(Tuple{});
         s.rows_out += 1;
       }
       return done(Value_{out, out});

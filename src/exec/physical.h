@@ -105,6 +105,13 @@ struct ExecOptions {
   // Budget for AdomScan term closures (values). The direct translation
   // never emits kAdom; only the AB88-style baseline does.
   size_t adom_budget = 10'000'000;
+  // Worker threads for morsel-parallel operators (FilterSelect,
+  // ProjectMap, the partitioned HashJoin, AdomScan closure rounds).
+  // 0 means hardware concurrency; 1 disables parallelism entirely.
+  // Results are normalized after every parallel region, so output is
+  // bit-identical across thread counts. Scalar functions must be pure
+  // (thread-safe) — every registry builtin is.
+  size_t num_threads = 0;
 };
 
 // A physical operator node. Like AlgExpr this is a tagged struct consumed
@@ -182,6 +189,7 @@ class PhysicalPlan {
 
   const PhysicalOp* root() const { return root_; }
   int NumOperators() const { return static_cast<int>(ops_.size()); }
+  const ExecOptions& options() const { return options_; }
 
  private:
   friend class Lowerer;

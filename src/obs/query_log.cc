@@ -36,7 +36,9 @@ std::string QueryLogRecordToJson(const QueryLogRecord& r) {
   }
   if (r.event == "run") {
     out += ",\"rows_out\":" + std::to_string(r.rows_out);
+    out += ",\"exec_threads\":" + std::to_string(r.exec_threads);
   }
+  out += ",\"string_pool_size\":" + std::to_string(r.string_pool_size);
   if (!r.diagnostics.empty()) {
     out += ",\"diagnostics\":" + diag::ToJson(r.diagnostics);
   }
@@ -78,6 +80,9 @@ StatusOr<QueryLogRecord> ParseQueryLogRecord(std::string_view line) {
   r.plan_nodes = static_cast<int>(json->NumberOr("plan_nodes", 0));
   r.rows_out = static_cast<uint64_t>(json->NumberOr("rows_out", 0));
   r.wall_ns = static_cast<uint64_t>(json->NumberOr("wall_ns", 0));
+  r.string_pool_size =
+      static_cast<uint64_t>(json->NumberOr("string_pool_size", 0));
+  r.exec_threads = static_cast<uint64_t>(json->NumberOr("exec_threads", 0));
   if (const JsonValue* diags = json->Find("diagnostics");
       diags != nullptr && diags->is_array()) {
     r.diagnostics = diag::DiagnosticsFromJson(*diags);

@@ -42,6 +42,12 @@ struct QueryLogRecord {
   int plan_nodes = 0;     // nodes in the optimized plan
   uint64_t rows_out = 0;  // answer rows ("run" records)
   uint64_t wall_ns = 0;   // total compile / run wall time
+  // Interned values in the process StringPool when the record was emitted
+  // (both events): tracks intern-pool growth across a workload.
+  uint64_t string_pool_size = 0;
+  // Effective worker-thread cap of the execution ("run" records; 0 until
+  // populated). See ExecOptions::num_threads.
+  uint64_t exec_threads = 0;
   std::vector<std::pair<std::string, uint64_t>> phase_ns;  // per-phase
   // Front-end diagnostics attached to "compile" records (lint findings and,
   // on rejection, the safety blame trace). Populated when the compiler runs

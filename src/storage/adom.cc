@@ -1,7 +1,9 @@
 #include "src/storage/adom.h"
 
 #include <algorithm>
+#include <unordered_set>
 
+#include "src/base/thread_pool.h"
 #include "src/calculus/analysis.h"
 
 namespace emcalc {
@@ -14,7 +16,7 @@ void NormalizeValueSet(ValueSet& values) {
 ValueSet ActiveDomain(const Database& db) {
   ValueSet out;
   for (const auto& [name, rel] : db.relations()) {
-    for (const Tuple& t : rel) {
+    for (TupleRef t : rel) {
       out.insert(out.end(), t.begin(), t.end());
     }
   }
@@ -42,7 +44,8 @@ ValueSet ActiveDomain(const AstContext& ctx, const Formula* f,
 
 StatusOr<ValueSet> TermClosure(
     ValueSet base, const std::vector<std::pair<std::string, int>>& fns,
-    const FunctionRegistry& registry, int level, size_t max_size) {
+    const FunctionRegistry& registry, int level, size_t max_size,
+    size_t num_threads) {
   NormalizeValueSet(base);
 
   // Resolve all functions up front.
@@ -53,66 +56,91 @@ StatusOr<ValueSet> TermClosure(
     resolved.push_back(*f);
   }
 
-  ValueSet frontier = base;  // values new in the previous round
+  size_t threads =
+      num_threads == 0 ? ThreadPool::HardwareThreads() : num_threads;
+  constexpr size_t kGrain = 4096;  // fn applications per morsel
+
+  // The closure so far, twice: `members` answers membership in O(1), `all`
+  // keeps an indexable enumeration order. Each round costs O(applications
+  // + fresh values) — the closure is never re-sorted; one final sort
+  // restores the ValueSet contract.
+  std::unordered_set<Value> members(base.begin(), base.end());
+  std::unordered_set<Value> frontier(members);
+  ValueSet all = std::move(base);  // sorted + deduped above
+
   for (int round = 0; round < level; ++round) {
     if (frontier.empty()) break;
-    ValueSet fresh;
+    ValueSet fresh;  // values first seen this round
     for (const ScalarFunction* fn : resolved) {
-      // Enumerate argument tuples with at least one frontier component
-      // (tuples entirely over older values were already applied).
       const size_t arity = static_cast<size_t>(fn->arity);
-      std::vector<Value> args(arity);
-      // For simplicity enumerate over base^arity and skip all-old tuples;
-      // `base` here is the closure so far.
-      std::vector<const ValueSet*> domains(arity, &base);
-      std::vector<size_t> cursor(arity, 0);
-      bool done = fn->arity > 0 && base.empty();
-      while (!done) {
-        bool touches_frontier = round == 0;
-        for (size_t i = 0; i < arity; ++i) {
-          args[i] = (*domains[i])[cursor[i]];
-          if (!touches_frontier &&
-              std::binary_search(frontier.begin(), frontier.end(), args[i])) {
-            touches_frontier = true;
-          }
-        }
-        if (touches_frontier) {
-          Value v = fn->fn(args);
-          if (!std::binary_search(base.begin(), base.end(), v)) {
-            fresh.push_back(v);
-          }
-        }
-        // Advance the mixed-radix cursor.
-        int pos = fn->arity - 1;
-        for (; pos >= 0; --pos) {
-          size_t p = static_cast<size_t>(pos);
-          if (++cursor[p] < domains[p]->size()) break;
-          cursor[p] = 0;
-        }
-        if (pos < 0) done = true;
-        if (fn->arity == 0) done = true;
-      }
-      if (fn->arity == 0) {
+      if (arity == 0) {
+        // A constant: only ever new in the first round.
+        if (round > 0) continue;
         Value v = fn->fn({});
-        if (!std::binary_search(base.begin(), base.end(), v)) {
-          fresh.push_back(v);
+        if (members.insert(v).second) fresh.push_back(v);
+        continue;
+      }
+      const size_t n = all.size();
+      if (n == 0) continue;
+      // Enumerate all^arity as a flat index space, skipping tuples with no
+      // frontier component (already applied in an earlier round).
+      size_t total = 1;
+      for (size_t i = 0; i < arity; ++i) {
+        // A size_t overflow here means an astronomically large argument
+        // space; the closure itself would blow the value budget long
+        // before such an enumeration finished.
+        if (total > SIZE_MAX / n) {
+          return UnsupportedError(
+              "term closure exceeded budget of " + std::to_string(max_size) +
+              " values at level " + std::to_string(round + 1));
+        }
+        total *= n;
+      }
+      const bool all_touch = round == 0;
+      // Each morsel collects candidate values privately; candidates are
+      // only checked against the pre-round membership set (read-only in
+      // the region), so workers never write shared state. Morsel
+      // boundaries depend on (total, kGrain) alone, and the sequential
+      // merge below visits buffers in morsel order, making the outcome
+      // independent of the thread count.
+      size_t num_morsels = (total + kGrain - 1) / kGrain;
+      std::vector<std::vector<Value>> candidates(num_morsels);
+      ThreadPool::Global().ParallelFor(
+          total, kGrain, threads,
+          [&](size_t /*worker*/, size_t begin, size_t end) {
+            std::vector<Value> args(arity);
+            std::vector<Value>& out = candidates[begin / kGrain];
+            for (size_t t = begin; t < end; ++t) {
+              size_t rest = t;
+              bool touches = all_touch;
+              for (size_t i = 0; i < arity; ++i) {
+                const Value& v = all[rest % n];
+                rest /= n;
+                args[i] = v;
+                if (!touches && frontier.count(v) > 0) touches = true;
+              }
+              if (!touches) continue;
+              Value v = fn->fn(args);
+              if (members.count(v) == 0) out.push_back(v);
+            }
+          });
+      for (const std::vector<Value>& morsel : candidates) {
+        for (const Value& v : morsel) {
+          if (members.insert(v).second) fresh.push_back(v);
         }
       }
     }
-    NormalizeValueSet(fresh);
-    ValueSet next;
-    next.reserve(base.size() + fresh.size());
-    std::set_union(base.begin(), base.end(), fresh.begin(), fresh.end(),
-                   std::back_inserter(next));
-    if (next.size() > max_size) {
+    if (members.size() > max_size) {
       return UnsupportedError(
           "term closure exceeded budget of " + std::to_string(max_size) +
           " values at level " + std::to_string(round + 1));
     }
-    frontier = std::move(fresh);
-    base = std::move(next);
+    all.insert(all.end(), fresh.begin(), fresh.end());
+    frontier.clear();
+    frontier.insert(fresh.begin(), fresh.end());
   }
-  return base;
+  NormalizeValueSet(all);
+  return all;
 }
 
 }  // namespace emcalc

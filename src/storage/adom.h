@@ -39,9 +39,16 @@ ValueSet ActiveDomain(const AstContext& ctx, const Formula* f,
 // `registry`). Fails with kUnsupported when the closure would exceed
 // `max_size` values (arity-2 functions grow the closure quadratically per
 // level; callers choose their budget).
+//
+// Membership is tracked in a hash set, so each round costs O(applications
+// + fresh) instead of re-sorting the whole closure. `num_threads` > 1
+// splits each round's argument-tuple enumeration into morsels on the
+// global thread pool (0 means hardware concurrency); the result is
+// identical for every thread count. Functions must be pure.
 StatusOr<ValueSet> TermClosure(
     ValueSet base, const std::vector<std::pair<std::string, int>>& fns,
-    const FunctionRegistry& registry, int level, size_t max_size);
+    const FunctionRegistry& registry, int level, size_t max_size,
+    size_t num_threads = 1);
 
 }  // namespace emcalc
 

@@ -83,7 +83,7 @@ Status LoadCsvFile(Database& db, const std::string& name,
 }
 
 void WriteCsv(const Relation& rel, std::ostream& out) {
-  for (const Tuple& t : rel) {
+  for (TupleRef t : rel) {
     for (size_t i = 0; i < t.size(); ++i) {
       if (i > 0) out << ",";
       out << t[i].ToString();

@@ -20,20 +20,20 @@ void CountCopy(size_t tuples) {
 
 }  // namespace
 
-uint64_t Relation::CopiesMade() {
+uint64_t LegacyRelation::CopiesMade() {
   return g_relation_copies.load(std::memory_order_relaxed);
 }
 
-uint64_t Relation::TuplesCopied() {
+uint64_t LegacyRelation::TuplesCopied() {
   return g_tuple_copies.load(std::memory_order_relaxed);
 }
 
-Relation::Relation(const Relation& other)
+LegacyRelation::LegacyRelation(const LegacyRelation& other)
     : arity_(other.arity_), dirty_(other.dirty_), tuples_(other.tuples_) {
   CountCopy(tuples_.size());
 }
 
-Relation& Relation::operator=(const Relation& other) {
+LegacyRelation& LegacyRelation::operator=(const LegacyRelation& other) {
   if (this == &other) return *this;
   arity_ = other.arity_;
   dirty_ = other.dirty_;
@@ -42,7 +42,7 @@ Relation& Relation::operator=(const Relation& other) {
   return *this;
 }
 
-Status Relation::TryInsert(Tuple t) {
+Status LegacyRelation::TryInsert(Tuple t) {
   if (static_cast<int>(t.size()) != arity_) {
     return InvalidArgumentError("tuple arity " + std::to_string(t.size()) +
                                 " does not match relation arity " +
@@ -53,43 +53,43 @@ Status Relation::TryInsert(Tuple t) {
   return Status::Ok();
 }
 
-void Relation::Insert(Tuple t) {
+void LegacyRelation::Insert(Tuple t) {
   EMCALC_CHECK_MSG(static_cast<int>(t.size()) == arity_,
                    "tuple arity %zu != relation arity %d", t.size(), arity_);
   tuples_.push_back(std::move(t));
   dirty_ = true;
 }
 
-void Relation::Normalize() const {
+void LegacyRelation::Normalize() const {
   if (!dirty_) return;
   std::sort(tuples_.begin(), tuples_.end());
   tuples_.erase(std::unique(tuples_.begin(), tuples_.end()), tuples_.end());
   dirty_ = false;
 }
 
-bool Relation::Contains(const Tuple& t) const {
+bool LegacyRelation::Contains(const Tuple& t) const {
   Normalize();
   return std::binary_search(tuples_.begin(), tuples_.end(), t);
 }
 
-Relation Relation::UnionWith(const Relation& other) const& {
+LegacyRelation LegacyRelation::UnionWith(const LegacyRelation& other) const& {
   EMCALC_CHECK(arity_ == other.arity_);
   Normalize();
   other.Normalize();
-  Relation out(arity_);
+  LegacyRelation out(arity_);
   std::set_union(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
                  other.tuples_.end(), std::back_inserter(out.tuples_));
   g_tuple_copies.fetch_add(out.tuples_.size(), std::memory_order_relaxed);
   return out;
 }
 
-Relation Relation::UnionWith(const Relation& other) && {
+LegacyRelation LegacyRelation::UnionWith(const LegacyRelation& other) && {
   EMCALC_CHECK(arity_ == other.arity_);
   Normalize();
   other.Normalize();
   // Keep this side's storage: append the other side's tuples and merge in
   // place. Only |other| tuples are copied (vs |this| + |other| above).
-  Relation out(arity_);
+  LegacyRelation out(arity_);
   out.tuples_ = std::move(tuples_);
   size_t mid = out.tuples_.size();
   out.tuples_.insert(out.tuples_.end(), other.tuples_.begin(),
@@ -102,23 +102,23 @@ Relation Relation::UnionWith(const Relation& other) && {
   return out;
 }
 
-Relation Relation::DifferenceWith(const Relation& other) const& {
+LegacyRelation LegacyRelation::DifferenceWith(const LegacyRelation& other) const& {
   EMCALC_CHECK(arity_ == other.arity_);
   Normalize();
   other.Normalize();
-  Relation out(arity_);
+  LegacyRelation out(arity_);
   std::set_difference(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
                       other.tuples_.end(), std::back_inserter(out.tuples_));
   g_tuple_copies.fetch_add(out.tuples_.size(), std::memory_order_relaxed);
   return out;
 }
 
-Relation Relation::DifferenceWith(const Relation& other) && {
+LegacyRelation LegacyRelation::DifferenceWith(const LegacyRelation& other) && {
   EMCALC_CHECK(arity_ == other.arity_);
   Normalize();
   other.Normalize();
   // Filter in place: no tuples are copied, survivors shift by move.
-  Relation out(arity_);
+  LegacyRelation out(arity_);
   out.tuples_ = std::move(tuples_);
   out.tuples_.erase(
       std::remove_if(out.tuples_.begin(), out.tuples_.end(),
@@ -130,14 +130,14 @@ Relation Relation::DifferenceWith(const Relation& other) && {
   return out;
 }
 
-bool operator==(const Relation& a, const Relation& b) {
+bool operator==(const LegacyRelation& a, const LegacyRelation& b) {
   if (a.arity_ != b.arity_) return false;
   a.Normalize();
   b.Normalize();
   return a.tuples_ == b.tuples_;
 }
 
-std::string Relation::ToString() const {
+std::string LegacyRelation::ToString() const {
   Normalize();
   std::string out;
   for (const Tuple& t : tuples_) {

@@ -1,6 +1,9 @@
-// Finite relation instances with set semantics. Tuples are kept as a
-// sorted, duplicate-free vector, which makes evaluation deterministic and
-// set operations (union/difference/comparison) cheap.
+// The canonical Relation is the flat, arity-strided FlatRelation
+// (src/storage/flat_relation.h). This header keeps the original
+// vector-of-tuples implementation alive as LegacyRelation: it is the
+// differential-testing oracle (tests/storage_test.cc checks FlatRelation's
+// set operations against it on random inputs) and the baseline side of
+// bench/bench_flat_exec.cc's old-vs-new layout comparison.
 #ifndef EMCALC_STORAGE_RELATION_H_
 #define EMCALC_STORAGE_RELATION_H_
 
@@ -10,23 +13,25 @@
 
 #include "src/base/status.h"
 #include "src/base/value.h"
+#include "src/storage/flat_relation.h"
 
 namespace emcalc {
 
-// A database tuple.
-using Tuple = std::vector<Value>;
+// The relation type the rest of the codebase uses.
+using Relation = FlatRelation;
 
-// A finite relation of fixed arity. Arity 0 is legal: such a relation is
-// either empty ("false") or contains the single empty tuple ("true").
-class Relation {
+// The original representation: a sorted, duplicate-free vector of
+// individually heap-allocated tuples. Same observable set semantics as
+// FlatRelation; kept only as an oracle and benchmark baseline.
+class LegacyRelation {
  public:
-  explicit Relation(int arity) : arity_(arity) {}
+  explicit LegacyRelation(int arity) : arity_(arity) {}
 
   // Copies are instrumented (see CopiesMade/TuplesCopied); moves are free.
-  Relation(const Relation& other);
-  Relation& operator=(const Relation& other);
-  Relation(Relation&&) = default;
-  Relation& operator=(Relation&&) = default;
+  LegacyRelation(const LegacyRelation& other);
+  LegacyRelation& operator=(const LegacyRelation& other);
+  LegacyRelation(LegacyRelation&&) = default;
+  LegacyRelation& operator=(LegacyRelation&&) = default;
 
   int arity() const { return arity_; }
   size_t size() const {
@@ -58,8 +63,7 @@ class Relation {
   Status TryInsert(Tuple t);
 
   // Inserts a tuple whose arity the caller has already validated; aborts
-  // on mismatch (internal evaluator paths where a mismatch is a bug, not
-  // bad input — external data goes through TryInsert).
+  // on mismatch.
   void Insert(Tuple t);
 
   // Membership test.
@@ -67,22 +71,19 @@ class Relation {
 
   // Set algebra; arities must match. The rvalue overloads reuse this
   // relation's tuple storage instead of copying both sides into a fresh
-  // vector — the execution layer uses them to make union/difference chains
-  // copy-light.
-  Relation UnionWith(const Relation& other) const&;
-  Relation UnionWith(const Relation& other) &&;
-  Relation DifferenceWith(const Relation& other) const&;
-  Relation DifferenceWith(const Relation& other) &&;
+  // vector.
+  LegacyRelation UnionWith(const LegacyRelation& other) const&;
+  LegacyRelation UnionWith(const LegacyRelation& other) &&;
+  LegacyRelation DifferenceWith(const LegacyRelation& other) const&;
+  LegacyRelation DifferenceWith(const LegacyRelation& other) &&;
 
-  friend bool operator==(const Relation& a, const Relation& b);
+  friend bool operator==(const LegacyRelation& a, const LegacyRelation& b);
 
   // Multi-line "(1, 'a')\n(2, 'b')" rendering, for tests and examples.
   std::string ToString() const;
 
-  // Process-wide copy instrumentation: whole-relation copies and tuples
-  // copied into new storage by relation copies and the lvalue set
-  // operations. The execution layer samples deltas around each operator to
-  // expose copy costs per operator; tests compare evaluator strategies.
+  // Process-wide copy instrumentation over legacy-relation operations
+  // (separate counters from FlatRelation's).
   static uint64_t CopiesMade();
   static uint64_t TuplesCopied();
 

@@ -139,7 +139,7 @@ TEST(WorkloadTest, PayrollInstanceSchema) {
 TEST(WorkloadTest, StringShareProducesStrings) {
   Database db;
   AddRandomTuples(db, "M", 1, 200, 10, 9, /*string_share=*/1.0);
-  for (const Tuple& t : *db.Find("M")) {
+  for (TupleRef t : *db.Find("M")) {
     EXPECT_TRUE(t[0].is_str());
   }
 }

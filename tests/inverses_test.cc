@@ -150,8 +150,8 @@ TEST_F(InversesTest, RandomQueriesUnaffectedWhenInversesUnused) {
       }
       rel.Insert(std::move(t));
     }
-    for (const Tuple& t : rel) {
-      ASSERT_TRUE(db.Insert("R" + std::to_string(i), t).ok());
+    for (TupleRef t : rel) {
+      ASSERT_TRUE(db.Insert("R" + std::to_string(i), t.ToTuple()).ok());
     }
   }
   int checked = 0;

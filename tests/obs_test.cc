@@ -230,6 +230,8 @@ TEST(QueryLogTest, RecordRoundTripsThroughJson) {
   r.plan_nodes = 9;
   r.rows_out = 0;
   r.wall_ns = 123456;
+  r.string_pool_size = 42;
+  r.exec_threads = 8;
   r.phase_ns = {{"parse", 1000}, {"translate.safety", 2500}};
 
   std::string line = obs::QueryLogRecordToJson(r);
@@ -246,7 +248,13 @@ TEST(QueryLogTest, RecordRoundTripsThroughJson) {
   EXPECT_EQ(parsed->ranf_size, r.ranf_size);
   EXPECT_EQ(parsed->plan_nodes, r.plan_nodes);
   EXPECT_EQ(parsed->wall_ns, r.wall_ns);
+  EXPECT_EQ(parsed->string_pool_size, r.string_pool_size);
   EXPECT_EQ(parsed->phase_ns, r.phase_ns);
+  // exec_threads only travels on "run" records.
+  r.event = "run";
+  auto run = obs::ParseQueryLogRecord(obs::QueryLogRecordToJson(r));
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->exec_threads, r.exec_threads);
 }
 
 TEST(QueryLogTest, HashIsStableFnv1a) {
@@ -423,6 +431,7 @@ TEST_F(ObsEndToEndTest, QueryLogRecordsCompileAndRunWithSharedHash) {
   EXPECT_TRUE(records[1].ok);
   EXPECT_EQ(records[1].rows_out, 3u);  // every EDGE node has a successor
   EXPECT_EQ(records[1].query_hash, records[0].query_hash);
+  EXPECT_GE(records[1].exec_threads, 1u);  // 0 = hardware is resolved
 
   EXPECT_EQ(records[2].event, "compile");
   EXPECT_FALSE(records[2].ok);

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <random>
+#include <string>
 #include <utility>
 
 #include "src/calculus/parser.h"
@@ -30,8 +32,8 @@ TEST(RelationTest, TuplesAreSorted) {
   r.Insert({Value::Int(1)});
   r.Insert({Value::Str("a")});
   ASSERT_EQ(r.size(), 3u);
-  EXPECT_EQ(r.tuples()[0][0], Value::Int(1));
-  EXPECT_EQ(r.tuples()[2][0], Value::Str("a"));
+  EXPECT_EQ(r.row(0)[0], Value::Int(1));
+  EXPECT_EQ(r.row(2)[0], Value::Str("a"));
 }
 
 TEST(RelationTest, UnionAndDifference) {
@@ -123,6 +125,111 @@ TEST(RelationTest, EqualityIgnoresInsertionOrder) {
   b.Insert({Value::Int(2)});
   b.Insert({Value::Int(1)});
   EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// FlatRelation vs LegacyRelation: the flat, arity-strided representation
+// must be observably identical to the original vector-of-tuples one. Random
+// inputs (mixed ints/strings, duplicates, both operand orders, copy and
+// move variants) are pushed through both and every observable compared.
+
+Tuple RandomTuple(std::mt19937& rng, int arity) {
+  std::uniform_int_distribution<int> v(0, 9);
+  std::uniform_int_distribution<int> kind(0, 3);
+  Tuple t;
+  t.reserve(static_cast<size_t>(arity));
+  for (int i = 0; i < arity; ++i) {
+    if (kind(rng) == 0) {
+      t.push_back(Value::Str(std::string(1, static_cast<char>('a' + v(rng)))));
+    } else {
+      t.push_back(Value::Int(v(rng)));
+    }
+  }
+  return t;
+}
+
+TEST(FlatVsLegacyTest, RandomInsertsAgree) {
+  std::mt19937 rng(1234);
+  for (int trial = 0; trial < 100; ++trial) {
+    int arity = trial % 4;  // includes arity 0
+    FlatRelation flat(arity);
+    LegacyRelation legacy(arity);
+    int n = trial % 23;
+    for (int i = 0; i < n; ++i) {
+      Tuple t = RandomTuple(rng, arity);
+      flat.Insert(t);
+      legacy.Insert(t);
+    }
+    ASSERT_EQ(flat.size(), legacy.size()) << "trial " << trial;
+    ASSERT_EQ(flat.ToString(), legacy.ToString()) << "trial " << trial;
+    // Sorted order and per-row contents agree.
+    size_t row = 0;
+    for (const Tuple& t : legacy.tuples()) {
+      ASSERT_EQ(flat.row(row).ToTuple(), t) << "trial " << trial;
+      ++row;
+    }
+    // Membership agrees on present tuples and on random probes.
+    for (const Tuple& t : legacy.tuples()) {
+      EXPECT_TRUE(flat.Contains(t));
+    }
+    for (int i = 0; i < 10; ++i) {
+      Tuple probe = RandomTuple(rng, arity);
+      EXPECT_EQ(flat.Contains(probe), legacy.Contains(probe))
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(FlatVsLegacyTest, RandomSetOperationsAgree) {
+  std::mt19937 rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    int arity = trial % 4;
+    FlatRelation fa(arity), fb(arity);
+    LegacyRelation la(arity), lb(arity);
+    int na = trial % 17;
+    int nb = (trial * 7 + 3) % 17;
+    for (int i = 0; i < na; ++i) {
+      Tuple t = RandomTuple(rng, arity);
+      fa.Insert(t);
+      la.Insert(t);
+    }
+    for (int i = 0; i < nb; ++i) {
+      Tuple t = RandomTuple(rng, arity);
+      fb.Insert(t);
+      lb.Insert(t);
+    }
+    EXPECT_EQ(fa.UnionWith(fb).ToString(), la.UnionWith(lb).ToString())
+        << "trial " << trial;
+    EXPECT_EQ(fb.UnionWith(fa).ToString(), lb.UnionWith(la).ToString())
+        << "trial " << trial;
+    EXPECT_EQ(fa.DifferenceWith(fb).ToString(),
+              la.DifferenceWith(lb).ToString())
+        << "trial " << trial;
+    EXPECT_EQ(fb.DifferenceWith(fa).ToString(),
+              lb.DifferenceWith(la).ToString())
+        << "trial " << trial;
+    // Move-aware variants produce the same sets as the copying ones.
+    FlatRelation fa_copy1 = fa;
+    EXPECT_EQ(std::move(fa_copy1).UnionWith(fb), fa.UnionWith(fb))
+        << "trial " << trial;
+    FlatRelation fa_copy2 = fa;
+    EXPECT_EQ(std::move(fa_copy2).DifferenceWith(fb), fa.DifferenceWith(fb))
+        << "trial " << trial;
+    // Equality is set equality on both representations.
+    EXPECT_EQ(fa == fb, la == lb) << "trial " << trial;
+  }
+}
+
+TEST(FlatRelationTest, AppendAllConcatenatesAndRenormalizes) {
+  FlatRelation a(1), b(1);
+  a.Insert({Value::Int(3)});
+  a.Insert({Value::Int(1)});
+  b.Insert({Value::Int(2)});
+  b.Insert({Value::Int(1)});
+  a.AppendAll(b);
+  EXPECT_EQ(a.size(), 3u);  // {1, 2, 3}
+  EXPECT_EQ(a.row(0)[0], Value::Int(1));
+  EXPECT_EQ(a.row(2)[0], Value::Int(3));
 }
 
 TEST(DatabaseTest, CatalogOperations) {
