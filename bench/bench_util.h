@@ -25,8 +25,10 @@
 namespace emcalc::bench {
 
 // Version of the JSON-Lines record layout shared by all BENCH_*.json
-// files. v1: bare exec records; v2: adds schema + metrics snapshot.
-inline constexpr int kBenchSchemaVersion = 2;
+// files. v1: bare exec records; v2: adds schema + metrics snapshot;
+// v3: profiles use the canonical ExecProfileToJson layout (est_rows +
+// memory accounting per operator, round-trippable via ExecProfileFromJson).
+inline constexpr int kBenchSchemaVersion = 3;
 
 // Prints the experiment banner; every bench binary calls this first so the
 // combined bench_output.txt is self-describing.
@@ -41,44 +43,11 @@ inline std::string JsonEscape(const std::string& s) {
   return obs::JsonEscape(s);
 }
 
-// Renders an ExecProfile subtree as a JSON object (nested children).
+// Renders an ExecProfile subtree as a JSON object (nested children) in
+// the canonical ExecProfileToJson layout, so bench records round-trip
+// through ExecProfileFromJson like any other serialized profile.
 inline void ProfileToJson(const ExecProfile& p, std::string& out) {
-  out += "{\"op\":\"";
-  out += PhysOpKindName(p.op);
-  out += "\"";
-  if (!p.detail.empty()) out += ",\"detail\":\"" + JsonEscape(p.detail) + "\"";
-  out += ",\"arity\":" + std::to_string(p.arity);
-  if (p.shared_ref) {
-    out += ",\"shared_ref\":true}";
-    return;
-  }
-  out += ",\"rows_in\":" + std::to_string(p.stats.rows_in);
-  out += ",\"rows_out\":" + std::to_string(p.stats.rows_out);
-  if (p.stats.build_rows > 0) {
-    out += ",\"build_rows\":" + std::to_string(p.stats.build_rows);
-  }
-  if (p.stats.hash_probes > 0) {
-    out += ",\"hash_probes\":" + std::to_string(p.stats.hash_probes);
-  }
-  if (p.stats.function_calls > 0) {
-    out += ",\"function_calls\":" + std::to_string(p.stats.function_calls);
-  }
-  if (p.stats.tuple_copies > 0) {
-    out += ",\"tuple_copies\":" + std::to_string(p.stats.tuple_copies);
-  }
-  if (p.stats.cache_hits > 0) {
-    out += ",\"cache_hits\":" + std::to_string(p.stats.cache_hits);
-  }
-  out += ",\"wall_ns\":" + std::to_string(p.stats.wall_ns);
-  if (!p.children.empty()) {
-    out += ",\"children\":[";
-    for (size_t i = 0; i < p.children.size(); ++i) {
-      if (i > 0) out += ",";
-      ProfileToJson(p.children[i], out);
-    }
-    out += "]";
-  }
-  out += "}";
+  out += ExecProfileToJson(p);
 }
 
 // Appends one JSON-Lines record to `file`, completing `fields` (the

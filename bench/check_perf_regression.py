@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_perf.json (JSON Lines, bench_flat_exec).
+
+Usage: check_perf_regression.py BASELINE CURRENT [--threshold 0.7]
+
+Raw rows/sec numbers are machine-dependent, so the gate compares *ratios*:
+for every gated (data, op, variant) series, speedup = variant rows_per_sec
+divided by the same run's legacy_layout rows_per_sec for that (data, op).
+A series regresses when current_speedup / baseline_speedup falls below the
+threshold (0.7 = a >30% slowdown relative to the in-run legacy baseline).
+
+Only the single-threaded variants are gated (flat_layout, flat_t1) —
+multi-thread numbers on shared CI runners are too noisy to gate on, and
+flat_hw depends on the core count. The full delta table is always
+printed, gated or not.
+
+Exit status: 0 when no gated series regresses, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+GATED_VARIANTS = ("flat_layout", "flat_t1")
+BASELINE_VARIANT = "legacy_layout"
+
+
+def load_series(path):
+    """(data, op, variant) -> rows_per_sec for bench=flat_exec records."""
+    series = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("bench") != "flat_exec":
+                continue
+            key = (rec["data"], rec["op"], rec["variant"])
+            series[key] = float(rec["rows_per_sec"])
+    if not series:
+        raise SystemExit(f"error: no flat_exec records in {path}")
+    return series
+
+
+def speedups(series):
+    """(data, op, variant) -> rows_per_sec / same-run legacy rows_per_sec."""
+    out = {}
+    for (data, op, variant), rps in series.items():
+        if variant == BASELINE_VARIANT:
+            continue
+        legacy = series.get((data, op, BASELINE_VARIANT))
+        if not legacy or rps <= 0:
+            continue
+        out[(data, op, variant)] = rps / legacy
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.7,
+                        help="fail when current/baseline speedup ratio "
+                             "drops below this (default 0.7 = -30%%)")
+    args = parser.parse_args()
+
+    base = speedups(load_series(args.baseline))
+    cur = speedups(load_series(args.current))
+
+    rows = []
+    failures = []
+    for key in sorted(set(base) | set(cur)):
+        data, op, variant = key
+        b, c = base.get(key), cur.get(key)
+        gated = variant in GATED_VARIANTS
+        if b is None or c is None:
+            rows.append((data, op, variant, b, c, None,
+                         "MISSING" if gated else "skip"))
+            if gated:
+                failures.append(key)
+            continue
+        ratio = c / b
+        if not gated:
+            verdict = "info"
+        elif ratio < args.threshold:
+            verdict = "FAIL"
+            failures.append(key)
+        else:
+            verdict = "ok"
+        rows.append((data, op, variant, b, c, ratio, verdict))
+
+    fmt = "{:<6} {:<14} {:<14} {:>10} {:>10} {:>8}  {}"
+    print(fmt.format("data", "op", "variant", "base", "current", "ratio",
+                     "verdict"))
+    for data, op, variant, b, c, ratio, verdict in rows:
+        print(fmt.format(
+            data, op, variant,
+            f"{b:.2f}x" if b is not None else "-",
+            f"{c:.2f}x" if c is not None else "-",
+            f"{ratio:.3f}" if ratio is not None else "-",
+            verdict))
+
+    print()
+    if failures:
+        print(f"FAIL: {len(failures)} gated series regressed past "
+              f"{(1 - args.threshold) * 100:.0f}% (threshold "
+              f"{args.threshold}):")
+        for data, op, variant in failures:
+            print(f"  {data}/{op}/{variant}")
+        return 1
+    print(f"ok: no gated series regressed past "
+          f"{(1 - args.threshold) * 100:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

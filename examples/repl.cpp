@@ -13,6 +13,8 @@
 //   .why QUERY              explain a safety verdict (FinD blame trace)
 //   .trace FILE | .trace off   capture spans, write Chrome trace JSON
 //   .metrics                print a metrics registry snapshot
+//   .mem                    print process memory accounting
+//   .feedback QUERY         run QUERY, print estimate-vs-actual feedback
 //   .log FILE | .log off    append per-query JSON-Lines records to FILE
 //   help
 //   quit
@@ -26,10 +28,13 @@
 #include <string>
 
 #include "src/algebra/printer.h"
+#include "src/base/string_pool.h"
 #include "src/calculus/printer.h"
 #include "src/core/compiler.h"
+#include "src/exec/feedback.h"
 #include "src/obs/metrics.h"
 #include "src/obs/query_log.h"
+#include "src/obs/resource.h"
 #include "src/obs/trace.h"
 #include "src/storage/csv.h"
 
@@ -48,6 +53,8 @@ void PrintHelp() {
       "  .why QUERY              explain the safety verdict for QUERY\n"
       "  .trace FILE | off       capture spans to a Chrome trace file\n"
       "  .metrics                print the metrics registry snapshot\n"
+      "  .mem                    print process memory accounting\n"
+      "  .feedback QUERY         run QUERY, print est-vs-actual feedback\n"
       "  .log FILE | off         per-query JSON-Lines log\n"
       "  help | quit\n"
       "anything else is evaluated as a query, e.g. {x | EDGE(x, y)}\n");
@@ -91,6 +98,47 @@ void LintQuery(emcalc::Compiler& compiler, const std::string& text) {
     return;
   }
   std::printf("%s", analysis.Render().c_str());
+}
+
+// `.mem`: the tracked-memory view of the process — the global accountant,
+// the intern pool, and the execution gauges.
+void PrintMemory() {
+  auto& acct = emcalc::obs::MemoryAccountant::Instance();
+  std::printf("tracked bytes:     %lld\n",
+              static_cast<long long>(acct.bytes()));
+  std::printf("peak bytes:        %lld\n",
+              static_cast<long long>(acct.peak_bytes()));
+  std::printf("allocated bytes:   %llu\n",
+              static_cast<unsigned long long>(acct.bytes_allocated()));
+  auto& pool = emcalc::StringPool::Global();
+  std::printf("string pool:       %zu values, %llu bytes\n", pool.size(),
+              static_cast<unsigned long long>(pool.bytes()));
+  auto& reg = emcalc::obs::MetricsRegistry::Instance();
+  std::printf("peak query bytes:  %lld\n",
+              static_cast<long long>(
+                  reg.GetGauge("exec.peak_query_bytes").value()));
+  std::printf("queries aborted:   %llu\n",
+              static_cast<unsigned long long>(
+                  reg.GetCounter("exec.queries_aborted").value()));
+}
+
+// `.feedback`: run the query and print the estimate-vs-actual report.
+void FeedbackQuery(emcalc::Compiler& compiler, emcalc::Database& db,
+                   const std::string& text) {
+  auto q = compiler.Compile(text);
+  if (!q.ok()) {
+    std::printf("error: %s\n", q.status().ToString().c_str());
+    return;
+  }
+  emcalc::ExecProfile profile;
+  auto answer = q->RunWithProfile(db, &profile);
+  if (!answer.ok()) {
+    std::printf("error: %s\n", answer.status().ToString().c_str());
+    return;
+  }
+  std::printf("answer rows: %zu\n", answer->size());
+  emcalc::PlanFeedback feedback = emcalc::BuildPlanFeedback(profile);
+  std::printf("%s", feedback.ToString().c_str());
 }
 
 // `.why`: just the safety verdict, with the blame trace on rejection.
@@ -185,6 +233,16 @@ int main() {
       std::printf("%s", emcalc::obs::MetricsRegistry::Instance()
                             .TextSnapshot()
                             .c_str());
+      continue;
+    }
+    if (command == ".mem") {
+      PrintMemory();
+      continue;
+    }
+    if (command == ".feedback") {
+      std::string rest;
+      std::getline(words, rest);
+      FeedbackQuery(compiler, db, rest);
       continue;
     }
     if (command == ".log") {

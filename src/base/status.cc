@@ -16,6 +16,8 @@ const char* StatusCodeName(StatusCode code) {
       return "UNSUPPORTED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }
@@ -42,6 +44,9 @@ Status UnsupportedError(std::string message) {
 }
 Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
 }
 
 }  // namespace emcalc

@@ -20,6 +20,7 @@ enum class StatusCode {
   kNotFound,         // unknown relation / function / variable
   kUnsupported,      // feature outside the implemented fragment
   kInternal,         // invariant violation that was recoverable
+  kResourceExhausted,  // a per-query resource limit tripped (governor)
 };
 
 // Returns a stable, human-readable name for `code` (e.g. "INVALID_ARGUMENT").
@@ -54,6 +55,7 @@ Status NotSafeError(std::string message);
 Status NotFoundError(std::string message);
 Status UnsupportedError(std::string message);
 Status InternalError(std::string message);
+Status ResourceExhaustedError(std::string message);
 
 // Either a value of type T or an error Status. Accessing the value of an
 // error StatusOr aborts (see EMCALC_CHECK); call ok() first.

@@ -3,6 +3,8 @@
 #include <functional>
 
 #include "src/base/check.h"
+#include "src/obs/metrics.h"
+#include "src/obs/resource.h"
 
 namespace emcalc {
 namespace {
@@ -47,9 +49,21 @@ uint64_t StringPool::Append(Shard& shard, size_t shard_idx, Entry entry) {
   size_t block = index / kBlockSize;
   EMCALC_CHECK_MSG(block < kMaxBlocks, "string pool shard overflow");
   Entry* storage = shard.blocks[block].load(std::memory_order_acquire);
+  uint64_t delta = 0;
   if (storage == nullptr) {
     storage = new Entry[kBlockSize];
     shard.blocks[block].store(storage, std::memory_order_release);
+    delta += kBlockSize * sizeof(Entry);
+  }
+  // Strings longer than the usual small-string buffer carry a heap
+  // payload; shorter ones live inside the Entry already counted above.
+  if (entry.str.size() > sizeof(std::string)) delta += entry.str.size();
+  if (delta > 0) {
+    bytes_.fetch_add(delta, std::memory_order_relaxed);
+    obs::ChargeBytes(static_cast<int64_t>(delta));
+    static obs::Gauge& pool_bytes =
+        obs::MetricsRegistry::Instance().GetGauge("storage.string_pool_bytes");
+    pool_bytes.Add(static_cast<int64_t>(delta));
   }
   storage[index % kBlockSize] = std::move(entry);
   // Publish after the entry is fully written: readers that learn the id

@@ -58,6 +58,12 @@ class StringPool {
   // string_pool_size field). Approximate under concurrent interning.
   uint64_t size() const;
 
+  // Tracked bytes held by the pool: block storage plus out-of-line string
+  // payloads. The pool never shrinks, so this is monotone.
+  uint64_t bytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
   StringPool(const StringPool&) = delete;
   StringPool& operator=(const StringPool&) = delete;
 
@@ -85,6 +91,7 @@ class StringPool {
   uint64_t Append(Shard& shard, size_t shard_idx, Entry entry);
 
   Shard shards_[kNumShards];
+  std::atomic<uint64_t> bytes_{0};
 };
 
 }  // namespace emcalc

@@ -80,7 +80,10 @@ void ThreadPool::WorkerLoop() {
       region = region_;
       region->active.fetch_add(1, std::memory_order_relaxed);
     }
-    Drain(*region, worker);
+    {
+      obs::MemoryScope adopt(region->scope);
+      Drain(*region, worker);
+    }
     if (region->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       std::lock_guard<std::mutex> lock(mu_);
       done_cv_.notify_all();
@@ -107,6 +110,7 @@ void ThreadPool::ParallelFor(
   region.fn = &fn;
   region.n = n;
   region.grain = grain;
+  region.scope = obs::MemoryScope::Current();
   region.max_workers = max_workers;
   // The caller is worker 0; pool workers claim ids from 1.
   region.next_worker.store(1, std::memory_order_relaxed);

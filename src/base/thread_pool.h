@@ -23,6 +23,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/resource.h"
+
 namespace emcalc {
 
 class ThreadPool {
@@ -60,6 +62,9 @@ class ThreadPool {
     const std::function<void(size_t, size_t, size_t)>* fn = nullptr;
     size_t n = 0;
     size_t grain = 0;
+    // The caller's memory-attribution scope, re-installed on every worker
+    // so morsel allocations charge the operator that opened the region.
+    obs::MemoryScopeState scope;
     std::atomic<size_t> cursor{0};
     // Dense worker ids, claimed on entry; bounded by max_workers.
     std::atomic<size_t> next_worker{0};

@@ -14,6 +14,7 @@
 #include "src/calculus/parser.h"
 #include "src/calculus/printer.h"
 #include "src/calculus/rewrite.h"
+#include "src/exec/feedback.h"
 #include "src/exec/lower.h"
 #include "src/obs/metrics.h"
 #include "src/obs/query_log.h"
@@ -120,8 +121,8 @@ void LogCompile(const std::string& text, const Status& status,
 }
 
 void LogRunRecord(const std::string& text, bool ok, const std::string& error,
-                  uint64_t rows_out, uint64_t wall_ns,
-                  uint64_t exec_threads) {
+                  uint64_t rows_out, uint64_t wall_ns, uint64_t exec_threads,
+                  const ExecProfile* profile, std::string aborted_limit) {
   obs::QueryLog* log = obs::GetQueryLog();
   if (log == nullptr) return;
   obs::QueryLogRecord r;
@@ -134,24 +135,46 @@ void LogRunRecord(const std::string& text, bool ok, const std::string& error,
   r.wall_ns = wall_ns;
   r.string_pool_size = StringPool::Global().size();
   r.exec_threads = exec_threads;
+  r.aborted_limit = std::move(aborted_limit);
+  if (profile != nullptr) {
+    r.peak_bytes = static_cast<uint64_t>(
+        std::max<int64_t>(profile->total_peak_bytes, 0));
+    r.bytes_allocated = profile->total_bytes_allocated;
+    PlanFeedback feedback = BuildPlanFeedback(*profile);
+    if (!feedback.entries.empty()) {
+      r.misestimate_factor = feedback.max_factor;
+      r.misestimate_op = feedback.worst_op;
+    }
+  }
   log->Write(r);
 }
 
-// Updates run metrics + query log for one execution attempt.
+// Updates run metrics + query log for one execution attempt. `profile`
+// (optional) contributes memory accounting, the aborting resource limit,
+// and the worst plan misestimate to the "run" record.
 template <typename ResultT>
 void ObserveRun(const std::string& text, const StatusOr<ResultT>& result,
-                uint64_t start_ns, uint64_t exec_threads) {
+                uint64_t start_ns, uint64_t exec_threads,
+                const ExecProfile* profile = nullptr) {
   uint64_t wall = obs::NowNs() - start_ns;
   RunMetrics& m = RunMetrics::Get();
   m.runs.Add();
   m.wall_ns.Observe(static_cast<double>(wall));
   if (result.ok()) {
     m.rows_out.Add(result->size());
-    LogRunRecord(text, true, "", result->size(), wall, exec_threads);
+    LogRunRecord(text, true, "", result->size(), wall, exec_threads, profile,
+                 "");
   } else {
     m.errors.Add();
+    // The governor phrases resource errors "<limit_name> exceeded: ..."; the
+    // first token names the tripped limit.
+    std::string aborted_limit;
+    if (result.status().code() == StatusCode::kResourceExhausted) {
+      const std::string& msg = result.status().message();
+      aborted_limit = msg.substr(0, msg.find(' '));
+    }
     LogRunRecord(text, false, result.status().ToString(), 0, wall,
-                 exec_threads);
+                 exec_threads, profile, std::move(aborted_limit));
   }
 }
 
@@ -177,6 +200,8 @@ StatusOr<Relation> CompiledQuery::Run(const Database& db,
                                       AlgebraEvalStats* stats) const {
   obs::Span span("exec.run");
   uint64_t start_ns = obs::NowNs();
+  ExecProfile profile;
+  bool profiled = false;
   auto execute = [&]() -> StatusOr<Relation> {
     if (physical_ == nullptr) {
       // Lowering failed at compile time; EvaluateAlgebra re-lowers and
@@ -184,9 +209,11 @@ StatusOr<Relation> CompiledQuery::Run(const Database& db,
       return EvaluateAlgebra(owner_->ctx(), translation_.plan, db,
                              owner_->functions(), stats);
     }
-    ExecProfile profile;
-    auto result = physical_->ExecuteToRelation(
-        db, stats != nullptr ? &profile : nullptr);
+    // Profile whenever a consumer exists: the caller's stats or an
+    // installed query log (memory + misestimate fields per run record).
+    profiled = stats != nullptr || obs::GetQueryLog() != nullptr;
+    auto result =
+        physical_->ExecuteToRelation(db, profiled ? &profile : nullptr);
     if (result.ok() && stats != nullptr) {
       ExecTotals totals = SumProfile(profile);
       stats->tuples_scanned += totals.rows_in;
@@ -199,7 +226,8 @@ StatusOr<Relation> CompiledQuery::Run(const Database& db,
   auto answer = execute();
   ObserveRun(text_, answer, start_ns,
              EffectiveExecThreads(
-                 physical_ != nullptr ? physical_->options().num_threads : 0));
+                 physical_ != nullptr ? physical_->options().num_threads : 0),
+             profiled ? &profile : nullptr);
   return answer;
 }
 
@@ -220,7 +248,8 @@ StatusOr<Relation> CompiledQuery::RunWithProfile(const Database& db,
   auto answer = execute();
   ObserveRun(text_, answer, start_ns,
              EffectiveExecThreads(
-                 physical_ != nullptr ? physical_->options().num_threads : 0));
+                 physical_ != nullptr ? physical_->options().num_threads : 0),
+             profile);
   return answer;
 }
 
@@ -231,6 +260,11 @@ StatusOr<std::string> CompiledQuery::ExplainAnalyze(const Database& db) const {
   std::string out = "plan: " + PlanString() + "\n";
   out += "answer rows: " + std::to_string(answer->size()) + "\n";
   out += ExecProfileToString(profile);
+  out += "memory: peak " + std::to_string(profile.total_peak_bytes) +
+         " bytes, allocated " +
+         std::to_string(profile.total_bytes_allocated) + " bytes\n";
+  out += "feedback (est vs actual, worst first):\n";
+  out += BuildPlanFeedback(profile).ToString();
   return out;
 }
 
@@ -606,7 +640,7 @@ StatusOr<Relation> ParameterizedQuery::RunWithProfile(
     return physical->ExecuteToRelation(db, profile);
   }();
   ObserveRun(QueryToString(owner_->ctx(), query_), answer, start_ns,
-             EffectiveExecThreads(0));
+             EffectiveExecThreads(0), profile);
   return answer;
 }
 
@@ -621,6 +655,11 @@ StatusOr<std::string> ParameterizedQuery::ExplainAnalyze(
       "plan: " + AlgExprToString(owner_->ctx(), *plan) + "\n";
   out += "answer rows: " + std::to_string(answer->size()) + "\n";
   out += ExecProfileToString(profile);
+  out += "memory: peak " + std::to_string(profile.total_peak_bytes) +
+         " bytes, allocated " +
+         std::to_string(profile.total_bytes_allocated) + " bytes\n";
+  out += "feedback (est vs actual, worst first):\n";
+  out += BuildPlanFeedback(profile).ToString();
   return out;
 }
 

@@ -1,0 +1,96 @@
+#include "src/exec/feedback.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/obs/json.h"
+
+namespace emcalc {
+namespace {
+
+std::string FormatRows(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.0f", v);
+  return buf;
+}
+
+std::string FormatFactor(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+void Collect(const ExecProfile& p, PlanFeedback& fb) {
+  if (!p.shared_ref && p.op != PhysOpKind::kMaterialize &&
+      p.stats.est_rows >= 0) {
+    PlanFeedbackEntry e;
+    e.op = PhysOpKindName(p.op);
+    if (!p.detail.empty()) e.op += "(" + p.detail + ")";
+    e.est_rows = p.stats.est_rows;
+    e.actual_rows = p.stats.rows_out;
+    auto actual = static_cast<double>(e.actual_rows);
+    double hi = std::max(e.est_rows, actual);
+    double lo = std::min(e.est_rows, actual);
+    e.factor = hi / std::max(lo, 1.0);
+    e.underestimate = actual > e.est_rows;
+    fb.entries.push_back(std::move(e));
+  }
+  if (!p.shared_ref) {
+    for (const ExecProfile& c : p.children) Collect(c, fb);
+  }
+}
+
+}  // namespace
+
+PlanFeedback BuildPlanFeedback(const ExecProfile& profile) {
+  PlanFeedback fb;
+  Collect(profile, fb);
+  std::stable_sort(fb.entries.begin(), fb.entries.end(),
+                   [](const PlanFeedbackEntry& a, const PlanFeedbackEntry& b) {
+                     return a.factor > b.factor;
+                   });
+  if (!fb.entries.empty()) {
+    fb.max_factor = fb.entries.front().factor;
+    fb.worst_op = fb.entries.front().op;
+  }
+  return fb;
+}
+
+std::string PlanFeedback::ToString() const {
+  if (entries.empty()) return "no feedback: no estimated operators ran\n";
+  std::string out;
+  for (const PlanFeedbackEntry& e : entries) {
+    out += e.op + ": est " + FormatRows(e.est_rows) + " actual " +
+           std::to_string(e.actual_rows);
+    if (e.factor > 1.0) {
+      out += " (" + FormatFactor(e.factor) + "x " +
+             (e.underestimate ? "under" : "over") + ")";
+    } else {
+      out += " (exact)";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string PlanFeedback::ToJson() const {
+  std::string out = "{\"max_factor\":" + FormatFactor(max_factor);
+  out += ",\"worst_op\":\"" + obs::JsonEscape(worst_op) + "\"";
+  out += ",\"entries\":[";
+  bool first = true;
+  for (const PlanFeedbackEntry& e : entries) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"op\":\"" + obs::JsonEscape(e.op) + "\"";
+    out += ",\"est_rows\":" + FormatRows(e.est_rows);
+    out += ",\"actual_rows\":" + std::to_string(e.actual_rows);
+    out += ",\"factor\":" + FormatFactor(e.factor);
+    out += ",\"underestimate\":";
+    out += e.underestimate ? "true" : "false";
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace emcalc

@@ -1,0 +1,49 @@
+// Estimate-vs-actual plan feedback: every executed operator carries the
+// planner's cardinality estimate (OpStats::est_rows) next to the measured
+// rows_out. BuildPlanFeedback flattens a profile tree into a report
+// ranking operators by misestimation factor — the quotient of the larger
+// and the smaller of (estimate, actual), floored at 1 — so the worst
+// planning decisions surface first. Surfaced via EXPLAIN ANALYZE, the
+// query log, and the repl's .feedback command.
+#ifndef EMCALC_EXEC_FEEDBACK_H_
+#define EMCALC_EXEC_FEEDBACK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/exec/physical.h"
+
+namespace emcalc {
+
+// One operator's estimate-vs-actual comparison.
+struct PlanFeedbackEntry {
+  std::string op;        // "HashJoin(keys=1)" — kind plus detail
+  double est_rows = 0;   // planner estimate
+  uint64_t actual_rows = 0;
+  // max(est, actual) / max(min(est, actual), 1): 1.0 is a perfect
+  // estimate, 10.0 is an order of magnitude off in either direction.
+  double factor = 1;
+  bool underestimate = false;  // actual exceeded the estimate
+};
+
+// The report: entries sorted by descending factor (ties keep plan order).
+struct PlanFeedback {
+  std::vector<PlanFeedbackEntry> entries;
+  double max_factor = 1;  // 1 when every estimate was perfect (or no ops)
+  std::string worst_op;   // entry with the largest factor, "" if none
+
+  // "HashJoin(keys=1): est 75 actual 4000 (53.3x under)" per line.
+  std::string ToString() const;
+  // {"max_factor":..,"worst_op":"..","entries":[{..},..]}
+  std::string ToJson() const;
+};
+
+// Flattens `profile` into a feedback report. Operators without an
+// estimate (est_rows < 0), shared-reference stubs, and Materialize nodes
+// (pure cache plumbing) are skipped.
+PlanFeedback BuildPlanFeedback(const ExecProfile& profile);
+
+}  // namespace emcalc
+
+#endif  // EMCALC_EXEC_FEEDBACK_H_

@@ -15,15 +15,45 @@
 #define EMCALC_EXEC_JOIN_TABLE_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/base/value.h"
+#include "src/obs/resource.h"
 
 namespace emcalc {
 
 class JoinTable {
  public:
   static constexpr uint32_t kEmpty = UINT32_MAX;
+
+  JoinTable() = default;
+  ~JoinTable() { Recharge(0); }
+
+  // The slot array's memory charge follows the table.
+  JoinTable(JoinTable&& other) noexcept
+      : keys_(other.keys_),
+        hashes_(other.hashes_),
+        nk_(other.nk_),
+        mask_(other.mask_),
+        slots_(std::move(other.slots_)),
+        charged_(other.charged_) {
+    other.charged_ = 0;
+  }
+  JoinTable& operator=(JoinTable&& other) noexcept {
+    if (this == &other) return *this;
+    Recharge(0);
+    keys_ = other.keys_;
+    hashes_ = other.hashes_;
+    nk_ = other.nk_;
+    mask_ = other.mask_;
+    slots_ = std::move(other.slots_);
+    charged_ = other.charged_;
+    other.charged_ = 0;
+    return *this;
+  }
+  JoinTable(const JoinTable&) = delete;
+  JoinTable& operator=(const JoinTable&) = delete;
 
   // Indexes build rows `rows[0..n)`. `keys` is the row-major, nk-strided
   // array of every build row's key values (indexed by absolute row id);
@@ -38,6 +68,7 @@ class JoinTable {
     while (capacity < 2 * n) capacity *= 2;
     mask_ = capacity - 1;
     slots_.assign(capacity, Slot{0, kEmpty});
+    Recharge(static_cast<int64_t>(slots_.capacity() * sizeof(Slot)));
     for (size_t i = 0; i < n; ++i) {
       uint32_t row = rows[i];
       size_t pos = hashes[row] & mask_;
@@ -74,11 +105,18 @@ class JoinTable {
     return true;
   }
 
+  void Recharge(int64_t now) {
+    if (now == charged_) return;
+    obs::ChargeBytes(now - charged_);
+    charged_ = now;
+  }
+
   const Value* keys_ = nullptr;
   const uint64_t* hashes_ = nullptr;
   size_t nk_ = 0;
   size_t mask_ = 0;
   std::vector<Slot> slots_;
+  int64_t charged_ = 0;
 };
 
 }  // namespace emcalc

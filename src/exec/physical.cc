@@ -1,5 +1,6 @@
 #include "src/exec/physical.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <optional>
@@ -7,6 +8,7 @@
 #include "src/base/check.h"
 #include "src/base/thread_pool.h"
 #include "src/exec/join_table.h"
+#include "src/obs/json.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/storage/adom.h"
@@ -107,12 +109,26 @@ struct ExecContext {
   std::vector<OpStats> stats;
   std::vector<std::optional<RelationPtr>> memo;
   size_t threads;  // effective worker cap, >= 1
+  // Memory attribution and limits for this execution. The governor is
+  // checked at operator entry, morsel boundaries, and closure rounds.
+  obs::QueryMemory qmem;
+  obs::ResourceGovernor governor;
+  std::vector<double> est;  // memoized per-op cardinality estimates
 
   ExecContext(const PhysicalPlan& p, const Database& d)
       : plan(p), db(d), stats(p.ops_.size()),
         memo(static_cast<size_t>(p.num_memo_slots_)),
         threads(p.options_.num_threads == 0 ? ThreadPool::HardwareThreads()
-                                            : p.options_.num_threads) {}
+                                            : p.options_.num_threads),
+        qmem(p.ops_.size()),
+        governor(obs::EffectiveLimits(p.options_.limits), &qmem, NowNs()),
+        est(p.ops_.size(), -1.0) {}
+
+  // Pre-execution cardinality estimate of `op`, memoized per operator.
+  // Deliberately simple heuristics (sizes are known exactly for scans, a
+  // fixed 1/3 selectivity per condition, independence for joins): the
+  // point is the estimate-vs-actual feedback report, not a real optimizer.
+  double EstimateRows(const PhysicalOp* op);
 
   // The value flowing between operators: `rel` is always set; `owned` is
   // set iff this operator freshly built the relation and nothing else
@@ -168,6 +184,66 @@ Value ExecContext::EvalExpr(const ScalarExpr* e, const TupleView& view,
     }
   }
   return Value();
+}
+
+double ExecContext::EstimateRows(const PhysicalOp* op) {
+  double& slot = est[static_cast<size_t>(op->id)];
+  if (slot >= 0) return slot;
+  slot = 0;  // break cycles (plans are DAGs, but be safe)
+  double e = 0;
+  switch (op->kind) {
+    case PhysOpKind::kScan: {
+      const Relation* rel = db.Find(op->rel_name);
+      e = rel != nullptr ? static_cast<double>(rel->size()) : 0;
+      break;
+    }
+    case PhysOpKind::kProjectMap:
+    case PhysOpKind::kMaterialize:
+      e = EstimateRows(op->left);
+      break;
+    case PhysOpKind::kFilterSelect: {
+      e = EstimateRows(op->left);
+      for (size_t i = 0; i < op->conds.size(); ++i) e *= 0.33;
+      break;
+    }
+    case PhysOpKind::kHashJoin: {
+      // Independence assumption with the larger side as the key domain.
+      double l = EstimateRows(op->left);
+      double r = EstimateRows(op->right);
+      e = l * r / std::max(std::max(l, r), 1.0);
+      break;
+    }
+    case PhysOpKind::kNestedLoopJoin: {
+      e = EstimateRows(op->left) * EstimateRows(op->right);
+      for (size_t i = 0; i < op->conds.size(); ++i) e *= 0.33;
+      break;
+    }
+    case PhysOpKind::kUnionMerge:
+      e = EstimateRows(op->left) + EstimateRows(op->right);
+      break;
+    case PhysOpKind::kDiffAnti:
+      e = EstimateRows(op->left);
+      break;
+    case PhysOpKind::kAdomScan: {
+      // Domain values in the instance, grown by (1 + #fns) per closure
+      // level — a crude upper-bound shape for term^k.
+      double dom = 0;
+      for (const auto& [name, rel] : db.relations()) {
+        dom += static_cast<double>(rel.size()) *
+               static_cast<double>(rel.arity());
+      }
+      dom += static_cast<double>(op->adom_consts.size());
+      double growth = 1.0 + static_cast<double>(op->adom_fns.size());
+      for (int i = 0; i < op->adom_level && dom < 1e18; ++i) dom *= growth;
+      e = std::min(dom, 1e18);
+      break;
+    }
+    case PhysOpKind::kSingleton:
+      e = op->unit ? 1 : 0;
+      break;
+  }
+  slot = e;
+  return e;
 }
 
 bool ExecContext::CondsHold(std::span<const AlgCondition> conds,
@@ -227,12 +303,18 @@ StatusOr<ExecContext::Value_> ExecContext::RunHashJoin(const PhysicalOp* op,
   // Phase 1: build-side keys and hashes.
   std::vector<Value> build_keys(bn * nk);
   std::vector<uint64_t> build_hash(bn);
+  // Join scratch (keys, hashes, partition maps) is sized manually, so it
+  // is charged manually; released when this call returns.
+  obs::MemoryCharge scratch(static_cast<int64_t>(
+      build_keys.capacity() * sizeof(Value) +
+      build_hash.capacity() * sizeof(uint64_t)));
   const bool parallel = Parallel(bn) || Parallel(pn);
   const size_t max_workers = parallel ? threads : 1;
   std::vector<OpStats> shards(max_workers);
   ThreadPool::Global().ParallelFor(
       bn, kMorselGrain, max_workers,
       [&](size_t worker, size_t begin, size_t end) {
+        if (governor.Check()) return;
         OpStats& ws = shards[worker];
         for (size_t i = begin; i < end; ++i) {
           TupleView view{empty_left_ref, build.row(i)};
@@ -252,9 +334,14 @@ StatusOr<ExecContext::Value_> ExecContext::RunHashJoin(const PhysicalOp* op,
   auto partition_of = [&](uint64_t hash) {
     return num_partitions == 1 ? size_t{0} : hash >> shift;
   };
+  if (governor.tripped()) return governor.status();
   std::vector<uint32_t> part_rows(bn);
   std::vector<size_t> part_start(num_partitions + 1, 0);
   std::vector<JoinTable> tables(num_partitions);
+  scratch.Update(scratch.charged() +
+                 static_cast<int64_t>(part_rows.capacity() *
+                                          sizeof(uint32_t) +
+                                      part_start.capacity() * sizeof(size_t)));
   if (num_partitions == 1) {
     for (size_t i = 0; i < bn; ++i) part_rows[i] = static_cast<uint32_t>(i);
     part_start[1] = bn;
@@ -297,6 +384,7 @@ StatusOr<ExecContext::Value_> ExecContext::RunHashJoin(const PhysicalOp* op,
     ThreadPool::Global().ParallelFor(
         num_partitions, 1, max_workers,
         [&](size_t /*worker*/, size_t begin, size_t end) {
+          if (governor.Check()) return;
           for (size_t p = begin; p < end; ++p) {
             tables[p].Build(build_keys.data(), build_hash.data(), nk,
                             part_rows.data() + part_start[p],
@@ -304,6 +392,7 @@ StatusOr<ExecContext::Value_> ExecContext::RunHashJoin(const PhysicalOp* op,
           }
         });
   }
+  if (governor.tripped()) return governor.status();
 
   // Phase 5: probe. Per-morsel output buffers keep emission order
   // deterministic; everything lands in `out` in morsel order.
@@ -314,6 +403,7 @@ StatusOr<ExecContext::Value_> ExecContext::RunHashJoin(const PhysicalOp* op,
   ThreadPool::Global().ParallelFor(
       pn, kMorselGrain, max_workers,
       [&](size_t worker, size_t begin, size_t end) {
+        if (governor.Check()) return;
         OpStats& ws = shards[worker];
         Relation& buf = bufs[begin / kMorselGrain];
         std::vector<Value> key(nk);
@@ -340,6 +430,7 @@ StatusOr<ExecContext::Value_> ExecContext::RunHashJoin(const PhysicalOp* op,
               });
         }
       });
+  if (governor.tripped()) return governor.status();
   out->Reserve(pn);  // one match per probe row is the common shape here
   for (const Relation& buf : bufs) out->AppendAll(buf);
   out->Normalize();
@@ -355,12 +446,24 @@ StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
   if (span.enabled()) span.SetDetail(OpDetail(op));
   OpStats& s = stats[static_cast<size_t>(op->id)];
   ++s.invocations;
+  // All tracked allocations until this frame returns (including child
+  // operators, which install their own scope on entry) charge this op.
+  obs::MemoryScope mem_scope(&qmem, op->id);
   uint64_t start = NowNs();
   // Wrap the per-kind result so every exit path records inclusive time.
   auto done = [&](StatusOr<Value_> v) {
     s.wall_ns += NowNs() - start;
     return v;
   };
+  // Successful-exit wrapper: counts output rows against max_rows and
+  // re-checks the limits so a trip surfaces at the operator that crossed
+  // the ceiling.
+  auto finish = [&](Value_ v) -> StatusOr<Value_> {
+    governor.AddRows(v.rel->size());
+    if (governor.Check()) return done(governor.status());
+    return done(std::move(v));
+  };
+  if (governor.Check()) return done(governor.status());
 
   switch (op->kind) {
     case PhysOpKind::kScan: {
@@ -369,7 +472,7 @@ StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
       s.rows_in += rel->size();
       s.rows_out += rel->size();
       // Borrow the database's storage: non-owning alias, zero copies.
-      return done(Value_{RelationPtr(RelationPtr(), rel), nullptr});
+      return finish(Value_{RelationPtr(RelationPtr(), rel), nullptr});
     }
     case PhysOpKind::kProjectMap: {
       auto in = Run(op->left);
@@ -387,6 +490,7 @@ StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
         ThreadPool::Global().ParallelFor(
             n, kMorselGrain, threads,
             [&](size_t worker, size_t begin, size_t end) {
+              if (governor.Check()) return;
               OpStats& ws = shards[worker];
               Relation& buf = bufs[begin / kMorselGrain];
               Tuple row(op->exprs.size());
@@ -402,7 +506,9 @@ StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
         MergeShards(s, shards);
       } else {
         Tuple row(op->exprs.size());
+        size_t i = 0;
         for (TupleRef t : in_rel) {
+          if ((i++ & 2047u) == 0 && governor.Check()) break;
           TupleView view{t, TupleRef()};
           for (size_t j = 0; j < op->exprs.size(); ++j) {
             row[j] = EvalExpr(op->exprs[j], view, s);
@@ -413,7 +519,7 @@ StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
       out->Normalize();
       s.rows_in += n;
       s.rows_out += out->size();
-      return done(Value_{out, out});
+      return finish(Value_{out, out});
     }
     case PhysOpKind::kFilterSelect: {
       auto in = Run(op->left);
@@ -430,6 +536,7 @@ StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
         ThreadPool::Global().ParallelFor(
             n, kMorselGrain, threads,
             [&](size_t worker, size_t begin, size_t end) {
+              if (governor.Check()) return;
               OpStats& ws = shards[worker];
               Relation& buf = bufs[begin / kMorselGrain];
               for (size_t i = begin; i < end; ++i) {
@@ -444,7 +551,9 @@ StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
         for (const Relation& buf : bufs) out->AppendAll(buf);
         MergeShards(s, shards);
       } else {
+        size_t i = 0;
         for (TupleRef t : in_rel) {
+          if ((i++ & 2047u) == 0 && governor.Check()) break;
           TupleView view{t, TupleRef()};
           if (CondsHold(op->conds, view, s)) {
             out->Insert(t);
@@ -455,7 +564,7 @@ StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
       out->Normalize();
       s.rows_in += n;
       s.rows_out += out->size();
-      return done(Value_{out, out});
+      return finish(Value_{out, out});
     }
     case PhysOpKind::kHashJoin:
     case PhysOpKind::kNestedLoopJoin: {
@@ -464,11 +573,15 @@ StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
       auto r = Run(op->right);
       if (!r.ok()) return done(r.status());
       if (op->kind == PhysOpKind::kHashJoin) {
-        return done(RunHashJoin(op, *l, *r, s));
+        auto j = RunHashJoin(op, *l, *r, s);
+        if (!j.ok()) return done(j.status());
+        return finish(std::move(*j));
       }
       auto out = std::make_shared<Relation>(op->arity);
       Tuple row;
+      size_t li = 0;
       for (TupleRef a : *l->rel) {
+        if ((li++ & 255u) == 0 && governor.Check()) break;
         for (TupleRef b : *r->rel) {
           TupleView joined{a, b};
           if (!op->conds.empty() && !CondsHold(op->conds, joined, s)) {
@@ -483,7 +596,7 @@ StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
       out->Normalize();
       s.rows_in += l->rel->size() + r->rel->size();
       s.rows_out += out->size();
-      return done(Value_{out, out});
+      return finish(Value_{out, out});
     }
     case PhysOpKind::kUnionMerge: {
       auto l = Run(op->left);
@@ -506,7 +619,7 @@ StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
       s.tuple_copies += Relation::TuplesCopied() - copies_before;
       auto out = std::make_shared<Relation>(std::move(merged));
       s.rows_out += out->size();
-      return done(Value_{out, out});
+      return finish(Value_{out, out});
     }
     case PhysOpKind::kDiffAnti: {
       auto l = Run(op->left);
@@ -524,21 +637,22 @@ StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
       s.tuple_copies += Relation::TuplesCopied() - copies_before;
       auto out = std::make_shared<Relation>(std::move(diff));
       s.rows_out += out->size();
-      return done(Value_{out, out});
+      return finish(Value_{out, out});
     }
     case PhysOpKind::kAdomScan: {
       ValueSet base = ActiveDomain(db);
       for (const Value& v : op->adom_consts) base.push_back(v);
       NormalizeValueSet(base);
-      auto closed =
-          TermClosure(std::move(base), op->adom_fns, *plan.registry_,
-                      op->adom_level, plan.options_.adom_budget, threads);
+      auto closed = TermClosure(std::move(base), op->adom_fns,
+                                *plan.registry_, op->adom_level,
+                                plan.options_.adom_budget, threads,
+                                governor.enabled() ? &governor : nullptr);
       if (!closed.ok()) return done(closed.status());
       auto out = std::make_shared<Relation>(1);
       out->Reserve(closed->size());
       for (const Value& v : *closed) out->AppendRow(&v);
       s.rows_out += out->size();
-      return done(Value_{out, out});
+      return finish(Value_{out, out});
     }
     case PhysOpKind::kSingleton: {
       auto out = std::make_shared<Relation>(op->arity);
@@ -546,7 +660,7 @@ StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
         out->Insert(Tuple{});
         s.rows_out += 1;
       }
-      return done(Value_{out, out});
+      return finish(Value_{out, out});
     }
     case PhysOpKind::kMaterialize: {
       std::optional<RelationPtr>& slot =
@@ -615,6 +729,12 @@ void RenderProfile(const ExecProfile& p, int depth, std::string& out) {
   out += " arity=" + std::to_string(p.arity);
   out += " rows_in=" + std::to_string(p.stats.rows_in);
   out += " rows_out=" + std::to_string(p.stats.rows_out);
+  if (p.stats.est_rows >= 0) {
+    char est_buf[32];
+    std::snprintf(est_buf, sizeof(est_buf), " est_rows=%.0f",
+                  p.stats.est_rows);
+    out += est_buf;
+  }
   if (p.op == PhysOpKind::kHashJoin) {
     out += " build=" + std::to_string(p.stats.build_rows);
     out += " probes=" + std::to_string(p.stats.hash_probes);
@@ -628,6 +748,10 @@ void RenderProfile(const ExecProfile& p, int depth, std::string& out) {
   if (p.op == PhysOpKind::kMaterialize) {
     out += " cache_hits=" + std::to_string(p.stats.cache_hits);
   }
+  if (p.stats.bytes_allocated > 0) {
+    out += " bytes=" + std::to_string(p.stats.bytes_allocated);
+  }
+  out += " peak_bytes=" + std::to_string(p.stats.peak_bytes);
   char time_buf[32];
   std::snprintf(time_buf, sizeof(time_buf), " time=%.3fms",
                 static_cast<double>(p.stats.wall_ns) / 1e6);
@@ -648,6 +772,117 @@ std::string ExecProfileToString(const ExecProfile& profile) {
   std::string out;
   RenderProfile(profile, 0, out);
   return out;
+}
+
+namespace {
+
+void ProfileJson(const ExecProfile& p, std::string& out) {
+  out += "{\"op\":\"";
+  out += PhysOpKindName(p.op);
+  out += "\",\"detail\":\"" + obs::JsonEscape(p.detail) + "\"";
+  out += ",\"arity\":" + std::to_string(p.arity);
+  out += ",\"shared_ref\":";
+  out += p.shared_ref ? "true" : "false";
+  const OpStats& s = p.stats;
+  // Every field is emitted, even when zero: FromJson must reproduce the
+  // profile exactly (round-trip tested in resource_test).
+  out += ",\"stats\":{";
+  out += "\"invocations\":" + std::to_string(s.invocations);
+  out += ",\"rows_in\":" + std::to_string(s.rows_in);
+  out += ",\"rows_out\":" + std::to_string(s.rows_out);
+  out += ",\"build_rows\":" + std::to_string(s.build_rows);
+  out += ",\"hash_probes\":" + std::to_string(s.hash_probes);
+  out += ",\"function_calls\":" + std::to_string(s.function_calls);
+  out += ",\"tuple_copies\":" + std::to_string(s.tuple_copies);
+  out += ",\"cache_hits\":" + std::to_string(s.cache_hits);
+  out += ",\"wall_ns\":" + std::to_string(s.wall_ns);
+  char est_buf[40];
+  std::snprintf(est_buf, sizeof(est_buf), "%.17g", s.est_rows);
+  out += ",\"est_rows\":";
+  out += est_buf;
+  out += ",\"bytes_allocated\":" + std::to_string(s.bytes_allocated);
+  out += ",\"peak_bytes\":" + std::to_string(s.peak_bytes);
+  out += "}";
+  if (p.total_peak_bytes != 0 || p.total_bytes_allocated != 0) {
+    out += ",\"total_peak_bytes\":" + std::to_string(p.total_peak_bytes);
+    out += ",\"total_bytes_allocated\":" +
+           std::to_string(p.total_bytes_allocated);
+  }
+  out += ",\"children\":[";
+  for (size_t i = 0; i < p.children.size(); ++i) {
+    if (i > 0) out += ",";
+    ProfileJson(p.children[i], out);
+  }
+  out += "]}";
+}
+
+StatusOr<ExecProfile> ProfileFromJsonValue(const obs::JsonValue& v) {
+  if (!v.is_object()) {
+    return InvalidArgumentError("profile node is not a JSON object");
+  }
+  ExecProfile p;
+  std::string op_name = v.StringOr("op", "");
+  bool found = false;
+  for (int k = 0; k <= static_cast<int>(PhysOpKind::kMaterialize); ++k) {
+    auto kind = static_cast<PhysOpKind>(k);
+    if (op_name == PhysOpKindName(kind)) {
+      p.op = kind;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    return InvalidArgumentError("unknown physical operator '" + op_name +
+                                "'");
+  }
+  p.detail = v.StringOr("detail", "");
+  p.arity = static_cast<int>(v.NumberOr("arity", 0));
+  p.shared_ref = v.BoolOr("shared_ref", false);
+  if (const obs::JsonValue* st = v.Find("stats");
+      st != nullptr && st->is_object()) {
+    OpStats& s = p.stats;
+    s.invocations = static_cast<uint64_t>(st->NumberOr("invocations", 0));
+    s.rows_in = static_cast<uint64_t>(st->NumberOr("rows_in", 0));
+    s.rows_out = static_cast<uint64_t>(st->NumberOr("rows_out", 0));
+    s.build_rows = static_cast<uint64_t>(st->NumberOr("build_rows", 0));
+    s.hash_probes = static_cast<uint64_t>(st->NumberOr("hash_probes", 0));
+    s.function_calls =
+        static_cast<uint64_t>(st->NumberOr("function_calls", 0));
+    s.tuple_copies = static_cast<uint64_t>(st->NumberOr("tuple_copies", 0));
+    s.cache_hits = static_cast<uint64_t>(st->NumberOr("cache_hits", 0));
+    s.wall_ns = static_cast<uint64_t>(st->NumberOr("wall_ns", 0));
+    s.est_rows = st->NumberOr("est_rows", -1);
+    s.bytes_allocated =
+        static_cast<uint64_t>(st->NumberOr("bytes_allocated", 0));
+    s.peak_bytes = static_cast<int64_t>(st->NumberOr("peak_bytes", 0));
+  }
+  p.total_peak_bytes =
+      static_cast<int64_t>(v.NumberOr("total_peak_bytes", 0));
+  p.total_bytes_allocated =
+      static_cast<uint64_t>(v.NumberOr("total_bytes_allocated", 0));
+  if (const obs::JsonValue* ch = v.Find("children");
+      ch != nullptr && ch->is_array()) {
+    for (const obs::JsonValue& c : ch->array) {
+      auto child = ProfileFromJsonValue(c);
+      if (!child.ok()) return child.status();
+      p.children.push_back(std::move(*child));
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+std::string ExecProfileToJson(const ExecProfile& profile) {
+  std::string out;
+  ProfileJson(profile, out);
+  return out;
+}
+
+StatusOr<ExecProfile> ExecProfileFromJson(std::string_view json) {
+  auto parsed = obs::ParseJson(json);
+  if (!parsed.ok()) return parsed.status();
+  return ProfileFromJsonValue(*parsed);
 }
 
 StatusOr<PhysicalPlan::Result> PhysicalPlan::Execute(
@@ -673,11 +908,32 @@ StatusOr<PhysicalPlan::Result> PhysicalPlan::Execute(
     }
   }
   ExecContext exec(*this, db);
+  exec.EstimateRows(root_);  // pre-execution estimates for every op
   auto result = exec.Run(root_);
-  if (!result.ok()) return result.status();
+  // Fold per-op memory slots and estimates into the stats before the
+  // profile is built, so the profile is complete even when the run failed
+  // (a tripped governor still reports the partial work).
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    exec.stats[i].est_rows = exec.est[i];
+    exec.stats[i].bytes_allocated = exec.qmem.OpBytesAllocated(i);
+    exec.stats[i].peak_bytes = exec.qmem.OpPeakBytes(i);
+  }
   if (profile != nullptr) {
     std::vector<bool> visited(ops_.size(), false);
     *profile = BuildProfile(root_, exec.stats, visited);
+    profile->total_peak_bytes = exec.qmem.peak_bytes();
+    profile->total_bytes_allocated = exec.qmem.bytes_allocated();
+  }
+  static obs::Gauge& peak_gauge =
+      obs::MetricsRegistry::Instance().GetGauge("exec.peak_query_bytes");
+  peak_gauge.UpdateMax(exec.qmem.peak_bytes());
+  if (!result.ok()) {
+    if (result.status().code() == StatusCode::kResourceExhausted) {
+      static obs::Counter& aborted =
+          obs::MetricsRegistry::Instance().GetCounter("exec.queries_aborted");
+      aborted.Add();
+    }
+    return result.status();
   }
   return Result{result->rel, result->owned};
 }

@@ -24,12 +24,14 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "src/algebra/ast.h"
 #include "src/base/status.h"
+#include "src/obs/resource.h"
 #include "src/storage/database.h"
 #include "src/storage/interpretation.h"
 #include "src/storage/relation.h"
@@ -69,6 +71,9 @@ struct OpStats {
   uint64_t tuple_copies = 0;   // existing tuples copied into the output
   uint64_t cache_hits = 0;     // Materialize results served from cache
   uint64_t wall_ns = 0;        // inclusive wall time (children included)
+  double est_rows = -1;        // planner cardinality estimate; -1 = none
+  uint64_t bytes_allocated = 0;  // tracked bytes allocated under this op
+  int64_t peak_bytes = 0;        // high-water tracked bytes under this op
 };
 
 // One node of the per-operator statistics tree. A Materialize that feeds
@@ -81,6 +86,9 @@ struct ExecProfile {
   bool shared_ref = false;  // repeat reference to a materialized subplan
   OpStats stats;
   std::vector<ExecProfile> children;
+  // Query-level memory totals; only set on the root node of a profile.
+  int64_t total_peak_bytes = 0;
+  uint64_t total_bytes_allocated = 0;
 };
 
 // Flat totals over a profile tree (the legacy AlgebraEvalStats view).
@@ -96,9 +104,15 @@ struct ExecTotals {
 ExecTotals SumProfile(const ExecProfile& profile);
 
 // EXPLAIN ANALYZE-style multi-line rendering:
-//   HashJoin(keys=2) arity=5 rows_in=150 rows_out=40 build=50 probes=100
-//   time=0.12ms
+//   HashJoin(keys=2) arity=5 rows_in=150 rows_out=40 est_rows=75
+//   peak_bytes=4096 time=0.12ms
 std::string ExecProfileToString(const ExecProfile& profile);
+
+// Canonical JSON encoding of a profile tree. Every stats field is emitted
+// unconditionally so ExecProfileFromJson reproduces the profile exactly
+// (round-trip tested); the bench harness and query log build on this.
+std::string ExecProfileToJson(const ExecProfile& profile);
+StatusOr<ExecProfile> ExecProfileFromJson(std::string_view json);
 
 // Execution knobs.
 struct ExecOptions {
@@ -112,6 +126,12 @@ struct ExecOptions {
   // bit-identical across thread counts. Scalar functions must be pure
   // (thread-safe) — every registry builtin is.
   size_t num_threads = 0;
+  // Per-query resource ceilings (0 = unlimited), merged with the
+  // EMCALC_MAX_QUERY_BYTES / EMCALC_MAX_QUERY_MS env knobs at execution
+  // (an explicit field here wins). A tripped limit aborts the execution
+  // with kResourceExhausted naming the limit; the partial profile is
+  // still filled in.
+  obs::ResourceLimits limits;
 };
 
 // A physical operator node. Like AlgExpr this is a tagged struct consumed

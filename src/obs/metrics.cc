@@ -66,6 +66,32 @@ double Histogram::Percentile(double p) const {
   return max_;
 }
 
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = min_;
+  snap.max = max_;
+  snap.counts = counts_;
+  return snap;
+}
+
+double Histogram::PercentileOf(const Snapshot& snap, double p) const {
+  if (snap.count == 0) return 0;
+  auto rank = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(snap.count)));
+  rank = std::max<uint64_t>(rank, 1);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < snap.counts.size(); ++i) {
+    cumulative += snap.counts[i];
+    if (cumulative >= rank) {
+      return i < bounds_.size() ? bounds_[i] : snap.max;
+    }
+  }
+  return snap.max;
+}
+
 std::vector<uint64_t> Histogram::bucket_counts() const {
   std::lock_guard<std::mutex> lock(mu_);
   return counts_;
@@ -145,13 +171,17 @@ std::string MetricsRegistry::TextSnapshot() const {
     out += name + " " + std::to_string(g->value()) + "\n";
   }
   for (const auto& [name, h] : histograms_) {
-    out += name + " count=" + std::to_string(h->count());
-    if (h->count() > 0) {
-      out += " sum=" + FormatDouble(h->sum());
-      out += " p50=" + FormatDouble(h->Percentile(50));
-      out += " p95=" + FormatDouble(h->Percentile(95));
-      out += " p99=" + FormatDouble(h->Percentile(99));
-      out += " max=" + FormatDouble(h->max());
+    // One snapshot per histogram: count/sum/percentiles come from the same
+    // state even while observers run (the per-accessor calls each lock
+    // separately and could interleave with a concurrent Observe/Reset).
+    Histogram::Snapshot snap = h->TakeSnapshot();
+    out += name + " count=" + std::to_string(snap.count);
+    if (snap.count > 0) {
+      out += " sum=" + FormatDouble(snap.sum);
+      out += " p50=" + FormatDouble(h->PercentileOf(snap, 50));
+      out += " p95=" + FormatDouble(h->PercentileOf(snap, 95));
+      out += " p99=" + FormatDouble(h->PercentileOf(snap, 99));
+      out += " max=" + FormatDouble(snap.max);
     }
     out += "\n";
   }
@@ -179,14 +209,15 @@ std::string MetricsRegistry::JsonSnapshot() const {
   for (const auto& [name, h] : histograms_) {
     if (!first) out += ",";
     first = false;
+    Histogram::Snapshot snap = h->TakeSnapshot();
     out += "\"" + JsonEscape(name) + "\":{\"count\":" +
-           std::to_string(h->count());
-    if (h->count() > 0) {
-      out += ",\"sum\":" + FormatDouble(h->sum());
-      out += ",\"p50\":" + FormatDouble(h->Percentile(50));
-      out += ",\"p95\":" + FormatDouble(h->Percentile(95));
-      out += ",\"p99\":" + FormatDouble(h->Percentile(99));
-      out += ",\"max\":" + FormatDouble(h->max());
+           std::to_string(snap.count);
+    if (snap.count > 0) {
+      out += ",\"sum\":" + FormatDouble(snap.sum);
+      out += ",\"p50\":" + FormatDouble(h->PercentileOf(snap, 50));
+      out += ",\"p95\":" + FormatDouble(h->PercentileOf(snap, 95));
+      out += ",\"p99\":" + FormatDouble(h->PercentileOf(snap, 99));
+      out += ",\"max\":" + FormatDouble(snap.max);
     }
     out += "}";
   }

@@ -39,11 +39,24 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
-// A last-value-wins signed gauge.
+// A signed gauge. Concurrent writers must pick the right primitive:
+// Set is last-write-wins (fine for single-writer samples), Add is a
+// lost-update-free delta (use it for byte totals fed from many threads),
+// and UpdateMax is a monotone high-water mark (use it when morsels or
+// queries finish concurrently and only the maximum matters — a Set race
+// there would let a smaller late value overwrite a larger one).
 class Gauge {
  public:
   void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
   void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  // Lifts the gauge to `v` when larger; never lowers it. CAS loop, so a
+  // lost race only ever loses to a larger concurrent value.
+  void UpdateMax(int64_t v) {
+    int64_t prev = value_.load(std::memory_order_relaxed);
+    while (v > prev && !value_.compare_exchange_weak(
+                           prev, v, std::memory_order_relaxed)) {
+    }
+  }
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
@@ -69,6 +82,24 @@ class Histogram {
   double max() const;  // -inf when empty
   // p in (0, 100], e.g. Percentile(99). Returns 0 when empty.
   double Percentile(double p) const;
+
+  // A self-consistent copy of the histogram state, taken under one lock
+  // acquisition. The individual accessors above each lock separately, so a
+  // sequence of calls (count(), then sum(), then Percentile()) can
+  // interleave with a concurrent Observe or Reset and report values from
+  // different states — snapshot exporters must use this instead.
+  // Invariants: counts sums to count; count == 0 implies sum == 0.
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum = 0;
+    double min = 0;  // +inf when empty
+    double max = 0;  // -inf when empty
+    std::vector<uint64_t> counts;  // bounds().size() + 1
+  };
+  Snapshot TakeSnapshot() const;
+  // Percentile computed from a snapshot (no locking; same convention as
+  // Percentile()).
+  double PercentileOf(const Snapshot& snap, double p) const;
 
   const std::vector<double>& bounds() const { return bounds_; }
   std::vector<uint64_t> bucket_counts() const;  // bounds().size() + 1

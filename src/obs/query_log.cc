@@ -37,6 +37,18 @@ std::string QueryLogRecordToJson(const QueryLogRecord& r) {
   if (r.event == "run") {
     out += ",\"rows_out\":" + std::to_string(r.rows_out);
     out += ",\"exec_threads\":" + std::to_string(r.exec_threads);
+    out += ",\"peak_bytes\":" + std::to_string(r.peak_bytes);
+    out += ",\"bytes_allocated\":" + std::to_string(r.bytes_allocated);
+    if (!r.aborted_limit.empty()) {
+      out += ",\"aborted_limit\":\"" + JsonEscape(r.aborted_limit) + "\"";
+    }
+    if (r.misestimate_factor > 0) {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.3g", r.misestimate_factor);
+      out += ",\"misestimate_factor\":";
+      out += buf;
+      out += ",\"misestimate_op\":\"" + JsonEscape(r.misestimate_op) + "\"";
+    }
   }
   out += ",\"string_pool_size\":" + std::to_string(r.string_pool_size);
   if (!r.diagnostics.empty()) {
@@ -83,6 +95,12 @@ StatusOr<QueryLogRecord> ParseQueryLogRecord(std::string_view line) {
   r.string_pool_size =
       static_cast<uint64_t>(json->NumberOr("string_pool_size", 0));
   r.exec_threads = static_cast<uint64_t>(json->NumberOr("exec_threads", 0));
+  r.peak_bytes = static_cast<uint64_t>(json->NumberOr("peak_bytes", 0));
+  r.bytes_allocated =
+      static_cast<uint64_t>(json->NumberOr("bytes_allocated", 0));
+  r.aborted_limit = json->StringOr("aborted_limit", "");
+  r.misestimate_factor = json->NumberOr("misestimate_factor", 0);
+  r.misestimate_op = json->StringOr("misestimate_op", "");
   if (const JsonValue* diags = json->Find("diagnostics");
       diags != nullptr && diags->is_array()) {
     r.diagnostics = diag::DiagnosticsFromJson(*diags);

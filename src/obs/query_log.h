@@ -48,6 +48,18 @@ struct QueryLogRecord {
   // Effective worker-thread cap of the execution ("run" records; 0 until
   // populated). See ExecOptions::num_threads.
   uint64_t exec_threads = 0;
+  // Memory accounting of the execution ("run" records): the query-level
+  // high-water mark and cumulative allocation of tracked bytes.
+  uint64_t peak_bytes = 0;
+  uint64_t bytes_allocated = 0;
+  // Name of the resource limit that aborted the execution ("max_bytes",
+  // "max_rows", ...); empty when the query ran to completion.
+  std::string aborted_limit;
+  // Plan-feedback summary ("run" records): the plan's worst estimate-vs-
+  // actual misestimation factor and the operator responsible. factor 0
+  // means no feedback was computed.
+  double misestimate_factor = 0;
+  std::string misestimate_op;
   std::vector<std::pair<std::string, uint64_t>> phase_ns;  // per-phase
   // Front-end diagnostics attached to "compile" records (lint findings and,
   // on rejection, the safety blame trace). Populated when the compiler runs

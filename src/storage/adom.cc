@@ -45,7 +45,7 @@ ValueSet ActiveDomain(const AstContext& ctx, const Formula* f,
 StatusOr<ValueSet> TermClosure(
     ValueSet base, const std::vector<std::pair<std::string, int>>& fns,
     const FunctionRegistry& registry, int level, size_t max_size,
-    size_t num_threads) {
+    size_t num_threads, obs::ResourceGovernor* governor) {
   NormalizeValueSet(base);
 
   // Resolve all functions up front.
@@ -68,8 +68,24 @@ StatusOr<ValueSet> TermClosure(
   std::unordered_set<Value> frontier(members);
   ValueSet all = std::move(base);  // sorted + deduped above
 
+  // Approximate the closure's working set for memory accounting: the
+  // enumeration vector's capacity plus ~3 words per hash-set element
+  // (node + bucket share). Updated once per round; released on return.
+  obs::MemoryCharge memory;
+  auto charge_round = [&] {
+    memory.Update(static_cast<int64_t>(
+        (all.capacity() + 3 * members.size() + 3 * frontier.size()) *
+        sizeof(Value)));
+  };
+  charge_round();
+
   for (int round = 0; round < level; ++round) {
     if (frontier.empty()) break;
+    if (governor != nullptr) {
+      if (Status s = governor->CheckClosure(members.size()); !s.ok()) {
+        return s;
+      }
+    }
     ValueSet fresh;  // values first seen this round
     for (const ScalarFunction* fn : resolved) {
       const size_t arity = static_cast<size_t>(fn->arity);
@@ -138,6 +154,12 @@ StatusOr<ValueSet> TermClosure(
     all.insert(all.end(), fresh.begin(), fresh.end());
     frontier.clear();
     frontier.insert(fresh.begin(), fresh.end());
+    charge_round();
+  }
+  if (governor != nullptr) {
+    if (Status s = governor->CheckClosure(members.size()); !s.ok()) {
+      return s;
+    }
   }
   NormalizeValueSet(all);
   return all;

@@ -14,6 +14,7 @@
 
 #include "src/base/status.h"
 #include "src/calculus/ast.h"
+#include "src/obs/resource.h"
 #include "src/storage/database.h"
 #include "src/storage/interpretation.h"
 
@@ -45,10 +46,14 @@ ValueSet ActiveDomain(const AstContext& ctx, const Formula* f,
 // splits each round's argument-tuple enumeration into morsels on the
 // global thread pool (0 means hardware concurrency); the result is
 // identical for every thread count. Functions must be pure.
+//
+// When `governor` is non-null its per-query limits are checked at every
+// closure round: a tripped limit (including max_term_closure_size, checked
+// against the closure's member count) aborts with kResourceExhausted.
 StatusOr<ValueSet> TermClosure(
     ValueSet base, const std::vector<std::pair<std::string, int>>& fns,
     const FunctionRegistry& registry, int level, size_t max_size,
-    size_t num_threads = 1);
+    size_t num_threads = 1, obs::ResourceGovernor* governor = nullptr);
 
 }  // namespace emcalc
 

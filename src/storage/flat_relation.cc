@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "src/base/check.h"
+#include "src/obs/resource.h"
 
 namespace emcalc {
 namespace {
@@ -115,12 +116,18 @@ uint64_t FlatRelation::TuplesCopied() {
   return g_tuple_copies.load(std::memory_order_relaxed);
 }
 
+void FlatRelation::RechargeTo(int64_t now) const {
+  obs::ChargeBytes(now - charged_bytes_);
+  charged_bytes_ = now;
+}
+
 FlatRelation::FlatRelation(const FlatRelation& other)
     : arity_(other.arity_),
       dirty_(other.dirty_),
       rows_(other.rows_),
       data_(other.data_) {
   CountCopy(rows_);
+  SyncCharge();
 }
 
 FlatRelation& FlatRelation::operator=(const FlatRelation& other) {
@@ -130,6 +137,7 @@ FlatRelation& FlatRelation::operator=(const FlatRelation& other) {
   rows_ = other.rows_;
   data_ = other.data_;
   CountCopy(rows_);
+  SyncCharge();
   return *this;
 }
 
@@ -142,6 +150,7 @@ Status FlatRelation::TryInsert(const Tuple& t) {
   data_.insert(data_.end(), t.begin(), t.end());
   ++rows_;
   dirty_ = true;
+  SyncCharge();
   return Status::Ok();
 }
 
@@ -151,6 +160,7 @@ void FlatRelation::Insert(TupleRef t) {
   data_.insert(data_.end(), t.begin(), t.end());
   ++rows_;
   dirty_ = true;
+  SyncCharge();
 }
 
 void FlatRelation::AppendAll(const FlatRelation& other) {
@@ -159,6 +169,7 @@ void FlatRelation::AppendAll(const FlatRelation& other) {
   data_.insert(data_.end(), other.data_.begin(), other.data_.end());
   rows_ += other.rows_;
   dirty_ = true;
+  SyncCharge();
 }
 
 void FlatRelation::Normalize() const {
@@ -175,6 +186,7 @@ void FlatRelation::Normalize() const {
   if (sorted_rows != SIZE_MAX) {
     data_.resize(sorted_rows * a);
     rows_ = sorted_rows;
+    SyncCharge();
     return;
   }
   // Permutation sort for wide rows: order row indices, then gather into
@@ -200,6 +212,7 @@ void FlatRelation::Normalize() const {
   }
   data_ = std::move(sorted);
   rows_ = kept;
+  SyncCharge();
 }
 
 bool FlatRelation::Contains(TupleRef t) const {
@@ -265,6 +278,7 @@ FlatRelation FlatRelation::UnionWith(const FlatRelation& other) const& {
   }
   out.rows_ = n;
   g_tuple_copies.fetch_add(n, std::memory_order_relaxed);
+  out.SyncCharge();
   return out;
 }
 
@@ -277,8 +291,11 @@ FlatRelation FlatRelation::UnionWith(const FlatRelation& other) && {
   FlatRelation out(arity_);
   out.data_ = std::move(data_);
   out.rows_ = rows_;
+  out.charged_bytes_ = charged_bytes_;  // the charge follows the storage
   rows_ = 0;
+  charged_bytes_ = 0;
   data_.clear();
+  SyncCharge();
   const size_t a = static_cast<size_t>(arity_);
   if (a == 0) {
     out.rows_ = (out.rows_ > 0 || other.rows_ > 0) ? 1 : 0;
@@ -288,6 +305,7 @@ FlatRelation FlatRelation::UnionWith(const FlatRelation& other) && {
   size_t mid = out.rows_;
   out.data_.insert(out.data_.end(), other.data_.begin(), other.data_.end());
   out.rows_ += other.rows_;
+  out.SyncCharge();
   size_t merged_rows = MergeDedupeDispatch(a, out.data_.data(), mid, out.rows_);
   if (merged_rows != SIZE_MAX) {
     out.data_.resize(merged_rows * a);
@@ -320,6 +338,7 @@ FlatRelation FlatRelation::UnionWith(const FlatRelation& other) && {
   }
   out.data_ = std::move(merged);
   out.rows_ = kept;
+  out.SyncCharge();
   g_tuple_copies.fetch_add(other.rows_, std::memory_order_relaxed);
   return out;
 }
@@ -362,6 +381,7 @@ FlatRelation FlatRelation::DifferenceWith(const FlatRelation& other) const& {
   }
   out.rows_ = n;
   g_tuple_copies.fetch_add(n, std::memory_order_relaxed);
+  out.SyncCharge();
   return out;
 }
 
@@ -373,8 +393,11 @@ FlatRelation FlatRelation::DifferenceWith(const FlatRelation& other) && {
   FlatRelation out(arity_);
   out.data_ = std::move(data_);
   out.rows_ = rows_;
+  out.charged_bytes_ = charged_bytes_;
   rows_ = 0;
+  charged_bytes_ = 0;
   data_.clear();
+  SyncCharge();
   const size_t a = static_cast<size_t>(arity_);
   if (a == 0) {
     out.rows_ = (out.rows_ > 0 && other.rows_ == 0) ? 1 : 0;

@@ -70,10 +70,39 @@ class FlatRelation {
   explicit FlatRelation(int arity) : arity_(arity) {}
 
   // Copies are instrumented (see CopiesMade/TuplesCopied); moves are free.
+  // Moves transfer the memory-accounting charge along with the storage, so
+  // the bytes stay attributed to whichever container currently owns them.
   FlatRelation(const FlatRelation& other);
   FlatRelation& operator=(const FlatRelation& other);
-  FlatRelation(FlatRelation&&) = default;
-  FlatRelation& operator=(FlatRelation&&) = default;
+  FlatRelation(FlatRelation&& other) noexcept
+      : arity_(other.arity_),
+        dirty_(other.dirty_),
+        rows_(other.rows_),
+        data_(std::move(other.data_)),
+        charged_bytes_(other.charged_bytes_) {
+    other.dirty_ = false;
+    other.rows_ = 0;
+    other.charged_bytes_ = 0;
+    other.SyncCharge();  // moved-from capacity is unspecified; reconcile
+  }
+  FlatRelation& operator=(FlatRelation&& other) noexcept {
+    if (this == &other) return *this;
+    RechargeTo(0);  // our buffer is about to be freed by the vector move
+    arity_ = other.arity_;
+    dirty_ = other.dirty_;
+    rows_ = other.rows_;
+    data_ = std::move(other.data_);
+    charged_bytes_ = other.charged_bytes_;
+    other.dirty_ = false;
+    other.rows_ = 0;
+    other.charged_bytes_ = 0;
+    other.SyncCharge();
+    SyncCharge();
+    return *this;
+  }
+  ~FlatRelation() {
+    if (charged_bytes_ != 0) RechargeTo(0);
+  }
 
   int arity() const { return arity_; }
   size_t size() const {
@@ -128,6 +157,7 @@ class FlatRelation {
   // Capacity hint for bulk inserts, in tuples.
   void Reserve(size_t n) {
     data_.reserve(n * static_cast<size_t>(arity_));
+    SyncCharge();
   }
 
   // Inserts a tuple; error on arity mismatch. Amortized: tuples are
@@ -150,6 +180,7 @@ class FlatRelation {
     data_.insert(data_.end(), values, values + arity_);
     ++rows_;
     dirty_ = true;
+    SyncCharge();
   }
 
   // Appends every row of `other` (same arity) without normalizing.
@@ -189,10 +220,21 @@ class FlatRelation {
   static uint64_t TuplesCopied();
 
  private:
+  // Memory accounting (obs::ChargeBytes): charged_bytes_ is the capacity
+  // this relation has reported to the accountant. SyncCharge is a single
+  // compare when the capacity is unchanged — the common case on appends
+  // that do not grow — and only the rare recharge goes out of line.
+  void SyncCharge() const {
+    auto now = static_cast<int64_t>(data_.capacity() * sizeof(Value));
+    if (now != charged_bytes_) RechargeTo(now);
+  }
+  void RechargeTo(int64_t now) const;
+
   int arity_;
   mutable bool dirty_ = false;
   mutable size_t rows_ = 0;
   mutable std::vector<Value> data_;  // arity-strided, rows_ * arity_ cells
+  mutable int64_t charged_bytes_ = 0;
 };
 
 }  // namespace emcalc

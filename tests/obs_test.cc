@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <set>
 #include <sstream>
@@ -12,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/base/string_pool.h"
+#include "src/base/value.h"
 #include "src/core/compiler.h"
 #include "src/obs/compile_profile.h"
 #include "src/obs/json.h"
@@ -206,6 +209,92 @@ TEST(MetricsTest, SnapshotsAreWellFormed) {
   const obs::JsonValue* hist = hists->Find("test.snapshot_hist");
   ASSERT_NE(hist, nullptr);
   EXPECT_GE(hist->NumberOr("count", 0), 1.0);
+}
+
+TEST(MetricsTest, GaugeUpdateMaxIsMonotone) {
+  obs::Gauge g;
+  g.UpdateMax(10);
+  EXPECT_EQ(g.value(), 10);
+  g.UpdateMax(3);  // never lowers
+  EXPECT_EQ(g.value(), 10);
+  g.UpdateMax(25);
+  EXPECT_EQ(g.value(), 25);
+}
+
+TEST(MetricsTest, GaugeUpdateMaxKeepsGlobalMaxUnderConcurrency) {
+  obs::Gauge g;
+  constexpr int kThreads = 8;
+  constexpr int64_t kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g, t] {
+      // Interleaved ranges so every thread repeatedly races a smaller
+      // value against another thread's larger one.
+      for (int64_t i = 0; i < kPerThread; ++i) {
+        g.UpdateMax(i * kThreads + t);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(g.value(), (kPerThread - 1) * kThreads + (kThreads - 1));
+}
+
+TEST(MetricsTest, HistogramSnapshotIsSelfConsistentUnderConcurrency) {
+  obs::Histogram h({10.0, 100.0, 1000.0});
+  std::atomic<bool> stop{false};
+  // Writers observe in (sum == 111 * count)-preserving batches; a third
+  // thread resets. Any snapshot interleaving with them must still satisfy
+  // the struct's invariants — the per-accessor-lock reads this replaced
+  // could observe a count from one state and a sum from another.
+  auto writer = [&h, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      h.Observe(5);
+      h.Observe(50);
+      h.Observe(56);
+    }
+  };
+  std::thread w1(writer), w2(writer);
+  std::thread resetter([&h, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) h.Reset();
+  });
+  for (int i = 0; i < 20'000; ++i) {
+    obs::Histogram::Snapshot snap = h.TakeSnapshot();
+    uint64_t bucket_total = 0;
+    for (uint64_t c : snap.counts) bucket_total += c;
+    ASSERT_EQ(bucket_total, snap.count);
+    if (snap.count == 0) {
+      ASSERT_EQ(snap.sum, 0.0);
+    } else {
+      // Observations arrive in batches summing to 111; partial batches
+      // keep the average within the batch's value range.
+      ASSERT_GE(snap.sum, 5.0 * static_cast<double>(snap.count));
+      ASSERT_LE(snap.sum, 56.0 * static_cast<double>(snap.count));
+      // Percentiles report bucket upper bounds: 5 lands in the ≤10
+      // bucket, 50 and 56 in the ≤100 bucket.
+      double p50 = h.PercentileOf(snap, 50);
+      ASSERT_TRUE(p50 == 10.0 || p50 == 100.0) << p50;
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  w1.join();
+  w2.join();
+  resetter.join();
+}
+
+TEST(MetricsTest, StringPoolBytesGaugeTracksInterning) {
+  obs::Gauge& gauge =
+      obs::MetricsRegistry::Instance().GetGauge("storage.string_pool_bytes");
+  int64_t before = gauge.value();
+  // A fresh never-interned string must grow the pool and the gauge.
+  Value::Str("obs_test.string_pool_bytes.sentinel.value-1");
+  EXPECT_GT(gauge.value(), before);
+  EXPECT_EQ(static_cast<uint64_t>(gauge.value()),
+            StringPool::Global().bytes());
+  // Re-interning the same string is free.
+  int64_t after = gauge.value();
+  Value::Str("obs_test.string_pool_bytes.sentinel.value-1");
+  EXPECT_EQ(gauge.value(), after);
 }
 
 TEST(JsonTest, ParseRejectsMalformedInput) {
