@@ -14,6 +14,12 @@ multi-thread numbers on shared CI runners are too noisy to gate on, and
 flat_hw depends on the core count. The full delta table is always
 printed, gated or not.
 
+With --obs BENCH_obs.json, the observability overhead verdicts from
+bench_obs_overhead are also gated: every record in that file carries a
+"pass" flag computed against an in-run ratio (tracing overhead <2% of
+query wall, flight-recorder overhead <1%), so any "pass": false fails
+the gate regardless of machine speed.
+
 Exit status: 0 when no gated series regresses, 1 otherwise.
 """
 
@@ -56,6 +62,37 @@ def speedups(series):
     return out
 
 
+def check_obs(path):
+    """Gate the self-judging verdicts in BENCH_obs.json.
+
+    Every obs_overhead record carries a "pass" flag (tracing <2% of query
+    wall; flight_recorder variant <1%). Returns the list of failing
+    (variant, query) pairs.
+    """
+    failures = []
+    total = 0
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("bench") != "obs_overhead":
+                continue
+            total += 1
+            variant = rec.get("variant", "?")
+            query = rec.get("query", "?")
+            pct = rec.get("overhead_pct")
+            verdict = "ok" if rec.get("pass") else "FAIL"
+            print(f"  obs {variant:<16} {pct:>8.4f}%  {verdict}  {query}")
+            if not rec.get("pass"):
+                failures.append((variant, query))
+    if total == 0:
+        print(f"  obs: no obs_overhead records in {path}")
+        failures.append(("obs_overhead", "missing records"))
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -63,6 +100,9 @@ def main():
     parser.add_argument("--threshold", type=float, default=0.7,
                         help="fail when current/baseline speedup ratio "
                              "drops below this (default 0.7 = -30%%)")
+    parser.add_argument("--obs", metavar="BENCH_OBS_JSON",
+                        help="also gate observability overhead verdicts "
+                             "(fail on any \"pass\": false record)")
     args = parser.parse_args()
 
     base = speedups(load_series(args.baseline))
@@ -101,6 +141,12 @@ def main():
             f"{ratio:.3f}" if ratio is not None else "-",
             verdict))
 
+    obs_failures = []
+    if args.obs:
+        print()
+        print(f"observability overhead gate ({args.obs}):")
+        obs_failures = check_obs(args.obs)
+
     print()
     if failures:
         print(f"FAIL: {len(failures)} gated series regressed past "
@@ -108,9 +154,16 @@ def main():
               f"{args.threshold}):")
         for data, op, variant in failures:
             print(f"  {data}/{op}/{variant}")
+    if obs_failures:
+        print(f"FAIL: {len(obs_failures)} observability overhead "
+              f"verdicts failed:")
+        for variant, query in obs_failures:
+            print(f"  {variant}: {query}")
+    if failures or obs_failures:
         return 1
     print(f"ok: no gated series regressed past "
-          f"{(1 - args.threshold) * 100:.0f}%")
+          f"{(1 - args.threshold) * 100:.0f}%"
+          + (" and all observability verdicts passed" if args.obs else ""))
     return 0
 
 

@@ -16,11 +16,16 @@
 //   .mem                    print process memory accounting
 //   .feedback QUERY         run QUERY, print estimate-vs-actual feedback
 //   .log FILE | .log off    append per-query JSON-Lines records to FILE
+//   .postmortem DIR | off | status | now   abort/crash bundle control
+//   .prometheus             metrics in Prometheus text format
+//   .pool                   thread-pool contention telemetry
 //   help
 //   quit
 //
-// The EMCALC_TRACE / EMCALC_QUERY_LOG environment variables enable the
-// same sinks without commands (trace flushed at exit).
+// The EMCALC_TRACE / EMCALC_QUERY_LOG / EMCALC_POSTMORTEM_DIR environment
+// variables enable the same sinks without commands (trace flushed at
+// exit; postmortem bundles written on governor aborts, run errors, and
+// fatal signals).
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -29,10 +34,12 @@
 
 #include "src/algebra/printer.h"
 #include "src/base/string_pool.h"
+#include "src/base/thread_pool.h"
 #include "src/calculus/printer.h"
 #include "src/core/compiler.h"
 #include "src/exec/feedback.h"
 #include "src/obs/metrics.h"
+#include "src/obs/postmortem.h"
 #include "src/obs/query_log.h"
 #include "src/obs/resource.h"
 #include "src/obs/trace.h"
@@ -56,6 +63,9 @@ void PrintHelp() {
       "  .mem                    print process memory accounting\n"
       "  .feedback QUERY         run QUERY, print est-vs-actual feedback\n"
       "  .log FILE | off         per-query JSON-Lines log\n"
+      "  .postmortem DIR | off | status | now   abort/crash bundles\n"
+      "  .prometheus             metrics in Prometheus text format\n"
+      "  .pool                   thread-pool contention telemetry\n"
       "  help | quit\n"
       "anything else is evaluated as a query, e.g. {x | EDGE(x, y)}\n");
 }
@@ -203,6 +213,8 @@ struct TraceCapture {
 int main() {
   emcalc::obs::InitTracingFromEnv();
   emcalc::obs::InitQueryLogFromEnv();
+  emcalc::obs::InitPostmortemFromEnv();
+  emcalc::obs::InstallCrashHandler();
   emcalc::Compiler compiler;
   emcalc::Database db;
   TraceCapture capture;
@@ -237,6 +249,45 @@ int main() {
     }
     if (command == ".mem") {
       PrintMemory();
+      continue;
+    }
+    if (command == ".prometheus") {
+      std::printf("%s", emcalc::obs::MetricsRegistry::Instance()
+                            .RenderPrometheus()
+                            .c_str());
+      continue;
+    }
+    if (command == ".pool") {
+      std::printf("%s\n",
+                  emcalc::ThreadPool::GlobalTelemetryJson().c_str());
+      continue;
+    }
+    if (command == ".postmortem") {
+      std::string arg;
+      words >> arg;
+      if (arg.empty() || arg == "status") {
+        std::string dir = emcalc::obs::PostmortemDir();
+        std::printf("postmortem: %s (%llu bundles written)\n",
+                    dir.empty() ? "off" : dir.c_str(),
+                    static_cast<unsigned long long>(
+                        emcalc::obs::PostmortemCount()));
+      } else if (arg == "off") {
+        emcalc::obs::SetPostmortemDir("");
+        std::printf("postmortem off\n");
+      } else if (arg == "now") {
+        emcalc::obs::PostmortemInfo info;
+        info.reason = "manual";
+        auto path = emcalc::obs::WritePostmortem(info);
+        if (path.ok()) {
+          std::printf("wrote %s\n", path->c_str());
+        } else {
+          std::printf("error: %s\n", path.status().ToString().c_str());
+        }
+      } else {
+        emcalc::obs::SetPostmortemDir(arg);
+        emcalc::obs::InstallCrashHandler();
+        std::printf("postmortem bundles to %s\n", arg.c_str());
+      }
       continue;
     }
     if (command == ".feedback") {

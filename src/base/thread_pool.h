@@ -19,7 +19,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -48,14 +50,45 @@ class ThreadPool {
   // Workers available to a region, including the calling thread.
   size_t parallelism() const { return workers_.size() + 1; }
 
+  // Contention telemetry accumulated across the regions a caller passes
+  // one of these to (an operator hands the same instance to every
+  // ParallelFor it issues, then folds it into its OpStats). Efficiency is
+  // busy_ns / (wall_ns * max_workers): 1.0 means every participating
+  // thread was claiming morsels for the whole region.
+  struct RegionStats {
+    uint64_t wall_ns = 0;      // summed region wall time
+    uint64_t busy_ns = 0;      // summed per-thread drain time
+    uint64_t morsels = 0;      // morsels claimed
+    uint32_t max_workers = 0;  // most threads that did work in one region
+  };
+
+  // Cumulative per-pool-worker counters since construction. idle_ns is
+  // time parked waiting for a region (the caller thread has no slot here:
+  // its drain time is accounted in RegionStats and the pool.* metrics).
+  struct WorkerTelemetry {
+    uint64_t busy_ns = 0;
+    uint64_t idle_ns = 0;
+    uint64_t morsels = 0;
+    uint64_t regions = 0;
+  };
+  std::vector<WorkerTelemetry> Telemetry() const;
+  // {"parallelism":P,"workers":[{"busy_ns":..,..},..]} for postmortem
+  // bundles and the repl.
+  std::string TelemetryJson() const;
+  // Telemetry of the global pool without creating it: spinning up workers
+  // just to report they never ran would skew the numbers.
+  static std::string GlobalTelemetryJson();
+
   // Runs fn(worker, begin, end) over disjoint morsels covering [0, n).
   // `worker` is a dense id in [0, max_workers) identifying the executing
   // thread within this region — use it to index per-worker accumulators.
   // `max_workers` caps how many threads participate (clamped to
   // parallelism()); 1 runs inline without touching the pool. fn must not
   // re-enter ParallelFor. Blocks until every morsel has been processed.
+  // When `stats` is non-null the region's telemetry is added (+=) into it.
   void ParallelFor(size_t n, size_t grain, size_t max_workers,
-                   const std::function<void(size_t, size_t, size_t)>& fn);
+                   const std::function<void(size_t, size_t, size_t)>& fn,
+                   RegionStats* stats = nullptr);
 
  private:
   struct Region {
@@ -70,13 +103,30 @@ class ThreadPool {
     std::atomic<size_t> next_worker{0};
     size_t max_workers = 0;
     std::atomic<size_t> active{0};
+    // Telemetry: folded from every draining thread when it finishes.
+    std::atomic<uint64_t> busy_ns{0};
+    std::atomic<uint64_t> morsels{0};
+    std::atomic<size_t> participants{0};  // threads that claimed >=1 morsel
+    uint64_t publish_ns = 0;  // written before publication under mu_
   };
 
-  void WorkerLoop();
-  // Claims morsels from `region` until the cursor passes n.
-  static void Drain(Region& region, size_t worker);
+  // Cache-line-padded per-worker counter slot (workers update their own
+  // slot with relaxed stores; Telemetry() reads across threads).
+  struct alignas(64) WorkerSlot {
+    std::atomic<uint64_t> busy_ns{0};
+    std::atomic<uint64_t> idle_ns{0};
+    std::atomic<uint64_t> morsels{0};
+    std::atomic<uint64_t> regions{0};
+  };
+
+  void WorkerLoop(size_t index);
+  // Claims morsels from `region` until the cursor passes n; reports this
+  // thread's drain time and morsel count.
+  static void Drain(Region& region, size_t worker, uint64_t* busy_ns,
+                    uint64_t* morsels);
 
   std::vector<std::thread> workers_;
+  std::unique_ptr<WorkerSlot[]> slots_;  // one per pool worker
   std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait here for a region
   std::condition_variable done_cv_;   // the caller waits here for drain

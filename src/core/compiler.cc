@@ -1,6 +1,7 @@
 #include "src/core/compiler.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 #include "src/base/string_pool.h"
@@ -16,7 +17,9 @@
 #include "src/calculus/rewrite.h"
 #include "src/exec/feedback.h"
 #include "src/exec/lower.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/obs/postmortem.h"
 #include "src/obs/query_log.h"
 #include "src/obs/trace.h"
 #include "src/translate/algebra_gen.h"
@@ -145,9 +148,35 @@ void LogRunRecord(const std::string& text, bool ok, const std::string& error,
       r.misestimate_factor = feedback.max_factor;
       r.misestimate_op = feedback.worst_op;
     }
+    ParallelSummary par = SumParallel(*profile);
+    if (par.max_workers > 1) {
+      r.parallel_efficiency = par.Efficiency();
+      r.par_workers = par.max_workers;
+    }
   }
   log->Write(r);
 }
+
+// RAII around one execution: publishes the query text for crash bundles
+// and brackets the run with flight-recorder events so a drained ring shows
+// where each query started and ended.
+class QueryObsScope {
+ public:
+  explicit QueryObsScope(const std::string& text)
+      : hash_(obs::HashQueryText(text)) {
+    obs::SetCurrentQuery(text, hash_);
+    obs::FlightRecord(obs::FlightEventKind::kQueryStart, "query", hash_);
+  }
+  ~QueryObsScope() {
+    obs::FlightRecord(obs::FlightEventKind::kQueryEnd, "query", hash_);
+    obs::ClearCurrentQuery();
+  }
+  QueryObsScope(const QueryObsScope&) = delete;
+  QueryObsScope& operator=(const QueryObsScope&) = delete;
+
+ private:
+  uint64_t hash_;
+};
 
 // Updates run metrics + query log for one execution attempt. `profile`
 // (optional) contributes memory accounting, the aborting resource limit,
@@ -172,6 +201,17 @@ void ObserveRun(const std::string& text, const StatusOr<ResultT>& result,
     if (result.status().code() == StatusCode::kResourceExhausted) {
       const std::string& msg = result.status().message();
       aborted_limit = msg.substr(0, msg.find(' '));
+    }
+    if (obs::PostmortemEnabled()) {
+      // Best-effort bundle: failure to write must not mask the run error.
+      obs::PostmortemInfo info;
+      info.reason = aborted_limit.empty() ? "run_error" : "governor_abort";
+      info.query = text;
+      info.query_hash = obs::HashQueryText(text);
+      info.error = result.status().ToString();
+      info.aborted_limit = aborted_limit;
+      if (profile != nullptr) info.profile_json = ExecProfileToJson(*profile);
+      (void)obs::WritePostmortem(info);
     }
     LogRunRecord(text, false, result.status().ToString(), 0, wall,
                  exec_threads, profile, std::move(aborted_limit));
@@ -199,6 +239,7 @@ std::string CompiledQuery::ExplainCompile() const {
 StatusOr<Relation> CompiledQuery::Run(const Database& db,
                                       AlgebraEvalStats* stats) const {
   obs::Span span("exec.run");
+  QueryObsScope obs_scope(text_);
   uint64_t start_ns = obs::NowNs();
   ExecProfile profile;
   bool profiled = false;
@@ -209,9 +250,11 @@ StatusOr<Relation> CompiledQuery::Run(const Database& db,
       return EvaluateAlgebra(owner_->ctx(), translation_.plan, db,
                              owner_->functions(), stats);
     }
-    // Profile whenever a consumer exists: the caller's stats or an
-    // installed query log (memory + misestimate fields per run record).
-    profiled = stats != nullptr || obs::GetQueryLog() != nullptr;
+    // Profile whenever a consumer exists: the caller's stats, an installed
+    // query log (memory + misestimate fields per run record), or an abort
+    // bundle that would want the partial profile.
+    profiled = stats != nullptr || obs::GetQueryLog() != nullptr ||
+               obs::PostmortemEnabled();
     auto result =
         physical_->ExecuteToRelation(db, profiled ? &profile : nullptr);
     if (result.ok() && stats != nullptr) {
@@ -234,6 +277,7 @@ StatusOr<Relation> CompiledQuery::Run(const Database& db,
 StatusOr<Relation> CompiledQuery::RunWithProfile(const Database& db,
                                                  ExecProfile* profile) const {
   obs::Span span("exec.run");
+  QueryObsScope obs_scope(text_);
   uint64_t start_ns = obs::NowNs();
   auto execute = [&]() -> StatusOr<Relation> {
     if (physical_ != nullptr) {
@@ -263,6 +307,15 @@ StatusOr<std::string> CompiledQuery::ExplainAnalyze(const Database& db) const {
   out += "memory: peak " + std::to_string(profile.total_peak_bytes) +
          " bytes, allocated " +
          std::to_string(profile.total_bytes_allocated) + " bytes\n";
+  ParallelSummary par = SumParallel(profile);
+  if (par.max_workers > 1) {
+    char line[128];
+    std::snprintf(line, sizeof(line),
+                  "parallelism: eff=%.0f%% workers=%u morsels=%llu\n",
+                  par.Efficiency() * 100.0, par.max_workers,
+                  static_cast<unsigned long long>(par.morsels));
+    out += line;
+  }
   out += "feedback (est vs actual, worst first):\n";
   out += BuildPlanFeedback(profile).ToString();
   return out;
@@ -615,6 +668,8 @@ StatusOr<Relation> ParameterizedQuery::Run(const Database& db,
                                            const std::vector<Value>& args,
                                            AlgebraEvalStats* stats) const {
   obs::Span span("exec.run");
+  std::string text = QueryToString(owner_->ctx(), query_);
+  QueryObsScope obs_scope(text);
   uint64_t start_ns = obs::NowNs();
   auto answer = [&]() -> StatusOr<Relation> {
     auto plan = PlanFor(args);
@@ -622,8 +677,7 @@ StatusOr<Relation> ParameterizedQuery::Run(const Database& db,
     return EvaluateAlgebra(owner_->ctx(), *plan, db, owner_->functions(),
                            stats);
   }();
-  ObserveRun(QueryToString(owner_->ctx(), query_), answer, start_ns,
-             EffectiveExecThreads(0));
+  ObserveRun(text, answer, start_ns, EffectiveExecThreads(0));
   return answer;
 }
 
@@ -631,6 +685,8 @@ StatusOr<Relation> ParameterizedQuery::RunWithProfile(
     const Database& db, const std::vector<Value>& args,
     ExecProfile* profile) const {
   obs::Span span("exec.run");
+  std::string text = QueryToString(owner_->ctx(), query_);
+  QueryObsScope obs_scope(text);
   uint64_t start_ns = obs::NowNs();
   auto answer = [&]() -> StatusOr<Relation> {
     auto plan = PlanFor(args);
@@ -639,8 +695,7 @@ StatusOr<Relation> ParameterizedQuery::RunWithProfile(
     if (!physical.ok()) return physical.status();
     return physical->ExecuteToRelation(db, profile);
   }();
-  ObserveRun(QueryToString(owner_->ctx(), query_), answer, start_ns,
-             EffectiveExecThreads(0), profile);
+  ObserveRun(text, answer, start_ns, EffectiveExecThreads(0), profile);
   return answer;
 }
 
@@ -658,6 +713,15 @@ StatusOr<std::string> ParameterizedQuery::ExplainAnalyze(
   out += "memory: peak " + std::to_string(profile.total_peak_bytes) +
          " bytes, allocated " +
          std::to_string(profile.total_bytes_allocated) + " bytes\n";
+  ParallelSummary par = SumParallel(profile);
+  if (par.max_workers > 1) {
+    char line[128];
+    std::snprintf(line, sizeof(line),
+                  "parallelism: eff=%.0f%% workers=%u morsels=%llu\n",
+                  par.Efficiency() * 100.0, par.max_workers,
+                  static_cast<unsigned long long>(par.morsels));
+    out += line;
+  }
   out += "feedback (est vs actual, worst first):\n";
   out += BuildPlanFeedback(profile).ToString();
   return out;

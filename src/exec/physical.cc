@@ -156,6 +156,25 @@ struct ExecContext {
     }
   }
 
+  // Collects ThreadPool::RegionStats across an operator's parallel regions
+  // and folds them into its OpStats par_* fields on scope exit — every
+  // exit path (including governor aborts) keeps the telemetry.
+  struct ParFold {
+    explicit ParFold(OpStats& s) : stats(s) {}
+    ~ParFold() {
+      stats.par_wall_ns += rs.wall_ns;
+      stats.par_busy_ns += rs.busy_ns;
+      stats.par_morsels += rs.morsels;
+      if (rs.max_workers > stats.par_workers) {
+        stats.par_workers = rs.max_workers;
+      }
+    }
+    ParFold(const ParFold&) = delete;
+    ParFold& operator=(const ParFold&) = delete;
+    OpStats& stats;
+    ThreadPool::RegionStats rs;
+  };
+
   Value EvalExpr(const ScalarExpr* e, const TupleView& view, OpStats& s);
   bool CondsHold(std::span<const AlgCondition> conds, const TupleView& view,
                  OpStats& s);
@@ -311,6 +330,7 @@ StatusOr<ExecContext::Value_> ExecContext::RunHashJoin(const PhysicalOp* op,
   const bool parallel = Parallel(bn) || Parallel(pn);
   const size_t max_workers = parallel ? threads : 1;
   std::vector<OpStats> shards(max_workers);
+  ParFold par(s);
   ThreadPool::Global().ParallelFor(
       bn, kMorselGrain, max_workers,
       [&](size_t worker, size_t begin, size_t end) {
@@ -325,7 +345,8 @@ StatusOr<ExecContext::Value_> ExecContext::RunHashJoin(const PhysicalOp* op,
           build_hash[i] = KeyHash(key, nk);
           ++ws.build_rows;
         }
-      });
+      },
+      &par.rs);
 
   // Phases 2-4: partition the build rows and build one table per
   // partition. The sequential path uses a single partition.
@@ -358,7 +379,8 @@ StatusOr<ExecContext::Value_> ExecContext::RunHashJoin(const PhysicalOp* op,
           for (size_t i = begin; i < end; ++i) {
             ++row[partition_of(build_hash[i])];
           }
-        });
+        },
+        &par.rs);
     // Prefix sums in (partition, morsel) order: each (m, p) cell becomes
     // the scatter offset for that morsel's slice of that partition.
     size_t running = 0;
@@ -380,7 +402,8 @@ StatusOr<ExecContext::Value_> ExecContext::RunHashJoin(const PhysicalOp* op,
             part_rows[offset[partition_of(build_hash[i])]++] =
                 static_cast<uint32_t>(i);
           }
-        });
+        },
+        &par.rs);
     ThreadPool::Global().ParallelFor(
         num_partitions, 1, max_workers,
         [&](size_t /*worker*/, size_t begin, size_t end) {
@@ -390,7 +413,8 @@ StatusOr<ExecContext::Value_> ExecContext::RunHashJoin(const PhysicalOp* op,
                             part_rows.data() + part_start[p],
                             part_start[p + 1] - part_start[p]);
           }
-        });
+        },
+        &par.rs);
   }
   if (governor.tripped()) return governor.status();
 
@@ -429,7 +453,8 @@ StatusOr<ExecContext::Value_> ExecContext::RunHashJoin(const PhysicalOp* op,
                 buf.AppendRow(row.data());
               });
         }
-      });
+      },
+      &par.rs);
   if (governor.tripped()) return governor.status();
   out->Reserve(pn);  // one match per probe row is the common shape here
   for (const Relation& buf : bufs) out->AppendAll(buf);
@@ -487,6 +512,7 @@ StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
         bufs.reserve(num_morsels);
         for (size_t i = 0; i < num_morsels; ++i) bufs.emplace_back(op->arity);
         std::vector<OpStats> shards(threads);
+        ParFold par(s);
         ThreadPool::Global().ParallelFor(
             n, kMorselGrain, threads,
             [&](size_t worker, size_t begin, size_t end) {
@@ -501,7 +527,8 @@ StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
                 }
                 buf.AppendRow(row.data());
               }
-            });
+            },
+            &par.rs);
         for (const Relation& buf : bufs) out->AppendAll(buf);
         MergeShards(s, shards);
       } else {
@@ -533,6 +560,7 @@ StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
         bufs.reserve(num_morsels);
         for (size_t i = 0; i < num_morsels; ++i) bufs.emplace_back(op->arity);
         std::vector<OpStats> shards(threads);
+        ParFold par(s);
         ThreadPool::Global().ParallelFor(
             n, kMorselGrain, threads,
             [&](size_t worker, size_t begin, size_t end) {
@@ -547,7 +575,8 @@ StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
                   ++ws.tuple_copies;
                 }
               }
-            });
+            },
+            &par.rs);
         for (const Relation& buf : bufs) out->AppendAll(buf);
         MergeShards(s, shards);
       } else {
@@ -643,10 +672,12 @@ StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
       ValueSet base = ActiveDomain(db);
       for (const Value& v : op->adom_consts) base.push_back(v);
       NormalizeValueSet(base);
+      ParFold par(s);
       auto closed = TermClosure(std::move(base), op->adom_fns,
                                 *plan.registry_, op->adom_level,
                                 plan.options_.adom_budget, threads,
-                                governor.enabled() ? &governor : nullptr);
+                                governor.enabled() ? &governor : nullptr,
+                                &par.rs);
       if (!closed.ok()) return done(closed.status());
       auto out = std::make_shared<Relation>(1);
       out->Reserve(closed->size());
@@ -756,8 +787,36 @@ void RenderProfile(const ExecProfile& p, int depth, std::string& out) {
   std::snprintf(time_buf, sizeof(time_buf), " time=%.3fms",
                 static_cast<double>(p.stats.wall_ns) / 1e6);
   out += time_buf;
+  if (p.stats.par_workers > 1) {
+    // Parallel efficiency of this operator's regions: 100% means every
+    // participating thread was draining morsels for the whole region.
+    double denom = static_cast<double>(p.stats.par_wall_ns) *
+                   static_cast<double>(p.stats.par_workers);
+    double eff = denom > 0
+                     ? static_cast<double>(p.stats.par_busy_ns) / denom
+                     : 0;
+    if (eff > 1.0) eff = 1.0;
+    char par_buf[64];
+    std::snprintf(par_buf, sizeof(par_buf),
+                  " par_eff=%.0f%% workers=%u morsels=%llu", eff * 100.0,
+                  p.stats.par_workers,
+                  static_cast<unsigned long long>(p.stats.par_morsels));
+    out += par_buf;
+  }
   out += "\n";
   for (const ExecProfile& c : p.children) RenderProfile(c, depth + 1, out);
+}
+
+void SumParallelInto(const ExecProfile& p, ParallelSummary& sum) {
+  if (!p.shared_ref && p.stats.par_workers > 1) {
+    sum.busy_ns += p.stats.par_busy_ns;
+    sum.weighted_wall_ns += p.stats.par_wall_ns * p.stats.par_workers;
+    sum.morsels += p.stats.par_morsels;
+    if (p.stats.par_workers > sum.max_workers) {
+      sum.max_workers = p.stats.par_workers;
+    }
+  }
+  for (const ExecProfile& c : p.children) SumParallelInto(c, sum);
 }
 
 }  // namespace
@@ -766,6 +825,12 @@ ExecTotals SumProfile(const ExecProfile& profile) {
   ExecTotals totals;
   SumInto(profile, totals);
   return totals;
+}
+
+ParallelSummary SumParallel(const ExecProfile& profile) {
+  ParallelSummary sum;
+  SumParallelInto(profile, sum);
+  return sum;
 }
 
 std::string ExecProfileToString(const ExecProfile& profile) {
@@ -802,6 +867,10 @@ void ProfileJson(const ExecProfile& p, std::string& out) {
   out += est_buf;
   out += ",\"bytes_allocated\":" + std::to_string(s.bytes_allocated);
   out += ",\"peak_bytes\":" + std::to_string(s.peak_bytes);
+  out += ",\"par_wall_ns\":" + std::to_string(s.par_wall_ns);
+  out += ",\"par_busy_ns\":" + std::to_string(s.par_busy_ns);
+  out += ",\"par_morsels\":" + std::to_string(s.par_morsels);
+  out += ",\"par_workers\":" + std::to_string(s.par_workers);
   out += "}";
   if (p.total_peak_bytes != 0 || p.total_bytes_allocated != 0) {
     out += ",\"total_peak_bytes\":" + std::to_string(p.total_peak_bytes);
@@ -855,6 +924,10 @@ StatusOr<ExecProfile> ProfileFromJsonValue(const obs::JsonValue& v) {
     s.bytes_allocated =
         static_cast<uint64_t>(st->NumberOr("bytes_allocated", 0));
     s.peak_bytes = static_cast<int64_t>(st->NumberOr("peak_bytes", 0));
+    s.par_wall_ns = static_cast<uint64_t>(st->NumberOr("par_wall_ns", 0));
+    s.par_busy_ns = static_cast<uint64_t>(st->NumberOr("par_busy_ns", 0));
+    s.par_morsels = static_cast<uint64_t>(st->NumberOr("par_morsels", 0));
+    s.par_workers = static_cast<uint32_t>(st->NumberOr("par_workers", 0));
   }
   p.total_peak_bytes =
       static_cast<int64_t>(v.NumberOr("total_peak_bytes", 0));

@@ -74,6 +74,29 @@ struct OpStats {
   double est_rows = -1;        // planner cardinality estimate; -1 = none
   uint64_t bytes_allocated = 0;  // tracked bytes allocated under this op
   int64_t peak_bytes = 0;        // high-water tracked bytes under this op
+  // Contention telemetry folded from the operator's parallel regions
+  // (ThreadPool::RegionStats); all zero when the operator ran inline.
+  uint64_t par_wall_ns = 0;    // summed wall time of parallel regions
+  uint64_t par_busy_ns = 0;    // summed per-thread drain time
+  uint64_t par_morsels = 0;    // morsels claimed
+  uint32_t par_workers = 0;    // most threads that did work in one region
+};
+
+// Parallel-region telemetry aggregated over a whole profile tree, for the
+// query log and EXPLAIN ANALYZE footer. Efficiency() is
+// busy / sum(wall * workers) over operators that ran in parallel; 0 when
+// nothing did.
+struct ParallelSummary {
+  uint64_t busy_ns = 0;
+  uint64_t weighted_wall_ns = 0;  // sum of par_wall_ns * par_workers
+  uint64_t morsels = 0;
+  uint32_t max_workers = 0;
+  double Efficiency() const {
+    if (weighted_wall_ns == 0) return 0;
+    double eff = static_cast<double>(busy_ns) /
+                 static_cast<double>(weighted_wall_ns);
+    return eff > 1.0 ? 1.0 : eff;
+  }
 };
 
 // One node of the per-operator statistics tree. A Materialize that feeds
@@ -102,6 +125,10 @@ struct ExecTotals {
   uint64_t tuple_copies = 0;
 };
 ExecTotals SumProfile(const ExecProfile& profile);
+
+// Aggregates par_* stats over a profile tree (operators with
+// par_workers > 1 only, so inline timing does not dilute the figure).
+ParallelSummary SumParallel(const ExecProfile& profile);
 
 // EXPLAIN ANALYZE-style multi-line rendering:
 //   HashJoin(keys=2) arity=5 rows_in=150 rows_out=40 est_rows=75

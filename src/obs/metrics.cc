@@ -225,6 +225,53 @@ std::string MetricsRegistry::JsonSnapshot() const {
   return out;
 }
 
+namespace {
+
+// `compile.wall_ns` -> `emcalc_compile_wall_ns`; anything outside
+// [a-zA-Z0-9_] becomes '_' (Prometheus metric-name charset).
+std::string PrometheusName(const std::string& name) {
+  std::string out = "emcalc_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    std::string pn = PrometheusName(name);
+    out += "# TYPE " + pn + " counter\n";
+    out += pn + " " + std::to_string(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::string pn = PrometheusName(name);
+    out += "# TYPE " + pn + " gauge\n";
+    out += pn + " " + std::to_string(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::string pn = PrometheusName(name);
+    Histogram::Snapshot snap = h->TakeSnapshot();
+    out += "# TYPE " + pn + " histogram\n";
+    uint64_t cumulative = 0;
+    const std::vector<double>& bounds = h->bounds();
+    for (size_t i = 0; i < snap.counts.size(); ++i) {
+      cumulative += snap.counts[i];
+      std::string le = i < bounds.size() ? FormatDouble(bounds[i]) : "+Inf";
+      out += pn + "_bucket{le=\"" + le + "\"} " + std::to_string(cumulative) +
+             "\n";
+    }
+    out += pn + "_sum " + FormatDouble(snap.count > 0 ? snap.sum : 0) + "\n";
+    out += pn + "_count " + std::to_string(snap.count) + "\n";
+  }
+  return out;
+}
+
 void MetricsRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();

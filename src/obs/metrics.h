@@ -138,6 +138,10 @@ class MetricsRegistry {
   std::string TextSnapshot() const;
   // {"counters":{...},"gauges":{...},"histograms":{"n":{"count":..,...}}}
   std::string JsonSnapshot() const;
+  // Prometheus text exposition format (version 0.0.4). Metric names are
+  // prefixed `emcalc_` and dots become underscores; histograms render as
+  // cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+  std::string RenderPrometheus() const;
 
   // Zeroes every metric (registrations survive). For tests and benches.
   void ResetAll();

@@ -1,0 +1,85 @@
+// Postmortem bundles: one JSON file per failure, written when a query is
+// aborted by the ResourceGovernor, finishes with a non-OK status, or the
+// process takes a fatal signal. A bundle contains everything needed to
+// reconstruct the last moments of the query offline:
+//
+//   - the drained flight-recorder rings (recent span/governor/memory events)
+//   - the partial ExecProfile (per-operator rows, wall time, and memory
+//     attribution), passed in pre-rendered as JSON so obs/ stays below exec/
+//   - a metrics-registry snapshot
+//   - the query text and its FNV-1a hash, plus the tripped limit name
+//
+// Bundles land in the directory configured with SetPostmortemDir (or the
+// EMCALC_POSTMORTEM_DIR env knob); with no directory configured the writer
+// is disabled and costs one atomic load per failure. `emcalc-inspect
+// bundle <file>` renders a bundle, `emcalc-inspect trace <file>` converts
+// its ring into a Chrome trace.
+//
+// The fatal-signal path (InstallCrashHandler; SIGSEGV/SIGABRT/SIGBUS/
+// SIGFPE) is async-signal-safe: it formats with stack buffers and write(2)
+// only, reads the current-query slate from a preallocated buffer, skips
+// the metrics snapshot (mutex-guarded), and best-effort-flushes the query
+// log before re-raising the signal with default disposition.
+#ifndef EMCALC_OBS_POSTMORTEM_H_
+#define EMCALC_OBS_POSTMORTEM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/base/status.h"
+
+namespace emcalc::obs {
+
+// Directory for bundles; empty string disables the writer. Thread-safe.
+void SetPostmortemDir(const std::string& dir);
+std::string PostmortemDir();
+bool PostmortemEnabled();
+
+// EMCALC_POSTMORTEM_DIR=<dir>: enables bundle writing. Returns true when
+// enabled. Idempotent per process (first call wins).
+bool InitPostmortemFromEnv();
+
+// Registers the fatal-signal handler (SIGSEGV, SIGABRT, SIGBUS, SIGFPE).
+// Idempotent. Safe to call before a directory is configured; the handler
+// re-checks at signal time.
+void InstallCrashHandler();
+
+// Publishes the query that is currently executing so the signal handler
+// can include it in a crash bundle. Text is truncated to an internal
+// fixed-size slate. Prefer the RAII CurrentQueryScope.
+void SetCurrentQuery(std::string_view text, uint64_t query_hash);
+void ClearCurrentQuery();
+
+class CurrentQueryScope {
+ public:
+  CurrentQueryScope(std::string_view text, uint64_t query_hash) {
+    SetCurrentQuery(text, query_hash);
+  }
+  ~CurrentQueryScope() { ClearCurrentQuery(); }
+  CurrentQueryScope(const CurrentQueryScope&) = delete;
+  CurrentQueryScope& operator=(const CurrentQueryScope&) = delete;
+};
+
+// Everything the normal-path writer needs. All fields optional except
+// `reason`.
+struct PostmortemInfo {
+  std::string reason;         // "governor_abort" | "run_error" | "manual"
+  std::string query;
+  uint64_t query_hash = 0;
+  std::string error;          // status string of the failed run
+  std::string aborted_limit;  // tripped limit name, when governor-aborted
+  std::string profile_json;   // pre-rendered ExecProfile JSON (may be empty)
+};
+
+// Writes one bundle (drains the flight recorder, snapshots metrics and pool
+// telemetry) and returns its path. Fails when no directory is configured or
+// the file cannot be created.
+StatusOr<std::string> WritePostmortem(const PostmortemInfo& info);
+
+// Total bundles written by this process (normal path only).
+uint64_t PostmortemCount();
+
+}  // namespace emcalc::obs
+
+#endif  // EMCALC_OBS_POSTMORTEM_H_

@@ -60,6 +60,11 @@ struct QueryLogRecord {
   // means no feedback was computed.
   double misestimate_factor = 0;
   std::string misestimate_op;
+  // Contention telemetry ("run" records): aggregate parallel efficiency
+  // busy/(wall*workers) over the plan's parallel regions, in [0,1], and the
+  // largest worker count any operator used. 0 when nothing ran in parallel.
+  double parallel_efficiency = 0;
+  uint64_t par_workers = 0;
   std::vector<std::pair<std::string, uint64_t>> phase_ns;  // per-phase
   // Front-end diagnostics attached to "compile" records (lint findings and,
   // on rejection, the safety blame trace). Populated when the compiler runs
@@ -78,22 +83,51 @@ std::string QueryLogRecordToJson(const QueryLogRecord& record);
 StatusOr<QueryLogRecord> ParseQueryLogRecord(std::string_view line);
 
 // A thread-safe JSON-Lines sink.
+//
+// File mode (Open) buffers lines and flushes on error/abort records, when
+// the buffer fills, on Flush(), and at destruction — so a clipped query's
+// record is on disk even if the process dies right after. When a rotation
+// cap is set (EMCALC_QUERY_LOG_MAX_BYTES, or SetRotationMaxBytes), a file
+// that reaches the cap is renamed to `<path>.1` (replacing any previous
+// rotation) and a fresh file is started.
+//
+// Stream mode (borrowed ostream; tests) writes through immediately.
 class QueryLog {
  public:
   // Borrow an existing stream (tests); must outlive the log.
   explicit QueryLog(std::ostream* sink) : sink_(sink) {}
 
-  // Appends to `path`.
+  // Appends to `path`. Applies EMCALC_QUERY_LOG_MAX_BYTES when set.
   static StatusOr<std::unique_ptr<QueryLog>> Open(const std::string& path);
+
+  ~QueryLog();
 
   void Write(const QueryLogRecord& record);
 
+  // Forces buffered lines to disk (file mode; no-op in stream mode).
+  void Flush();
+
+  // Best-effort flush for signal handlers: skips if the lock is held,
+  // writes with write(2) only. Returns true when the buffer was drained.
+  bool TrySignalFlush();
+
+  // 0 disables rotation.
+  void SetRotationMaxBytes(uint64_t bytes);
+  uint64_t rotations() const;
+
  private:
   QueryLog() = default;
+  void FlushLocked();
+  void MaybeRotateLocked();
 
-  std::mutex mu_;
-  std::ofstream file_;
-  std::ostream* sink_ = nullptr;
+  mutable std::mutex mu_;
+  std::ostream* sink_ = nullptr;  // stream mode only
+  int fd_ = -1;                   // file mode only
+  std::string path_;
+  std::string buf_;
+  uint64_t file_bytes_ = 0;
+  uint64_t max_bytes_ = 0;
+  uint64_t rotations_ = 0;
 };
 
 // The process-global query log; null (disabled) by default. Borrowed, not
@@ -104,6 +138,10 @@ void SetQueryLog(QueryLog* log);
 // EMCALC_QUERY_LOG=<path>: installs a process-lifetime query log appending
 // to <path>. Returns true when enabled. Idempotent.
 bool InitQueryLogFromEnv();
+
+// Async-signal-safe best-effort flush of the global query log (if any).
+// Called from the fatal-signal postmortem path.
+void QueryLogSignalFlush();
 
 }  // namespace emcalc::obs
 

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/trace.h"
 
 namespace emcalc::obs {
@@ -44,6 +45,14 @@ void ChargeBytes(int64_t delta) {
   if (delta == 0) return;
   MemoryAccountant::Instance().Charge(delta);
   if (t_scope.query != nullptr) t_scope.query->Charge(delta, t_scope.op_id);
+  // Large allocations/releases are worth a flight-recorder breadcrumb; the
+  // threshold keeps per-row churn out of the ring.
+  constexpr int64_t kFlightMemoryThreshold = 256 * 1024;
+  if (delta >= kFlightMemoryThreshold || delta <= -kFlightMemoryThreshold) {
+    FlightRecord(FlightEventKind::kMemory,
+                 delta > 0 ? "mem.charge" : "mem.release",
+                 static_cast<uint64_t>(delta > 0 ? delta : -delta));
+  }
 }
 
 ResourceLimits ResourceLimitsFromEnv() {
@@ -94,6 +103,8 @@ void ResourceGovernor::Trip(ResourceLimitKind kind, uint64_t used,
     kind_.store(static_cast<uint8_t>(kind), std::memory_order_release);
     used_.store(used, std::memory_order_release);
     limit_.store(limit, std::memory_order_release);
+    FlightRecord(FlightEventKind::kGovernorTrip, ResourceLimitKindName(kind),
+                 used);
   }
 }
 

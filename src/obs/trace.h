@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/obs/flight_recorder.h"
 
 namespace emcalc::obs {
 
@@ -71,13 +72,17 @@ Tracer* GetTracer();
 void SetTracer(Tracer* tracer);
 
 // RAII span guard. Records [construction, destruction) into the tracer
-// that was installed at construction time.
+// that was installed at construction time, and mirrors begin/end into the
+// always-on flight recorder (FlightRecord is its own cheap fast path when
+// the recorder is disabled).
 class Span {
  public:
   explicit Span(const char* name) : tracer_(GetTracer()), name_(name) {
     if (tracer_ != nullptr) start_ns_ = NowNs();
+    FlightRecord(FlightEventKind::kSpanBegin, name);
   }
   ~Span() {
+    FlightRecord(FlightEventKind::kSpanEnd, name_);
     if (tracer_ != nullptr) {
       tracer_->Record(name_, std::move(detail_), start_ns_,
                       NowNs() - start_ns_);

@@ -45,7 +45,8 @@ ValueSet ActiveDomain(const AstContext& ctx, const Formula* f,
 StatusOr<ValueSet> TermClosure(
     ValueSet base, const std::vector<std::pair<std::string, int>>& fns,
     const FunctionRegistry& registry, int level, size_t max_size,
-    size_t num_threads, obs::ResourceGovernor* governor) {
+    size_t num_threads, obs::ResourceGovernor* governor,
+    ThreadPool::RegionStats* par_stats) {
   NormalizeValueSet(base);
 
   // Resolve all functions up front.
@@ -139,7 +140,8 @@ StatusOr<ValueSet> TermClosure(
               Value v = fn->fn(args);
               if (members.count(v) == 0) out.push_back(v);
             }
-          });
+          },
+          par_stats);
       for (const std::vector<Value>& morsel : candidates) {
         for (const Value& v : morsel) {
           if (members.insert(v).second) fresh.push_back(v);

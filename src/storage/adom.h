@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/base/thread_pool.h"
 #include "src/calculus/ast.h"
 #include "src/obs/resource.h"
 #include "src/storage/database.h"
@@ -50,10 +51,13 @@ ValueSet ActiveDomain(const AstContext& ctx, const Formula* f,
 // When `governor` is non-null its per-query limits are checked at every
 // closure round: a tripped limit (including max_term_closure_size, checked
 // against the closure's member count) aborts with kResourceExhausted.
+// When `par_stats` is non-null, contention telemetry of the closure's
+// parallel rounds is accumulated into it (see ThreadPool::RegionStats).
 StatusOr<ValueSet> TermClosure(
     ValueSet base, const std::vector<std::pair<std::string, int>>& fns,
     const FunctionRegistry& registry, int level, size_t max_size,
-    size_t num_threads = 1, obs::ResourceGovernor* governor = nullptr);
+    size_t num_threads = 1, obs::ResourceGovernor* governor = nullptr,
+    ThreadPool::RegionStats* par_stats = nullptr);
 
 }  // namespace emcalc
 

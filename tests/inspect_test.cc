@@ -1,0 +1,180 @@
+// Tests for the offline analyzer library behind emcalc-inspect
+// (src/obs/inspect.h): golden output over the checked-in sample query log,
+// aggregate correctness over a generated 1000-record log, and the bundle /
+// Chrome-trace renderers.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/obs/inspect.h"
+#include "src/obs/json.h"
+#include "src/obs/query_log.h"
+
+#ifndef EMCALC_TESTDATA_DIR
+#error "EMCALC_TESTDATA_DIR must point at tests/testdata"
+#endif
+
+namespace emcalc {
+namespace {
+
+obs::QueryLogScan SampleScan() {
+  auto scan = obs::ReadQueryLog(std::string(EMCALC_TESTDATA_DIR) +
+                                "/sample_query_log.jsonl");
+  EXPECT_TRUE(scan.ok()) << scan.status().ToString();
+  return scan.ok() ? *scan : obs::QueryLogScan{};
+}
+
+TEST(InspectSampleLogTest, ScanCountsRecordsAndBadLines) {
+  obs::QueryLogScan scan = SampleScan();
+  EXPECT_EQ(scan.records.size(), 11u);
+  EXPECT_EQ(scan.bad_lines, 1u);  // the line clipped by the "crash"
+}
+
+TEST(InspectSampleLogTest, TopSlowestOrdersByWallTime) {
+  std::string out = obs::RenderTopSlowest(SampleScan(), 3);
+  EXPECT_EQ(out,
+            "top 3 slowest runs\n"
+            "  1. 12.000ms rows=10 eff=75%  {x | exists y (Q2(x, y))}\n"
+            "  2. 9.000ms rows=25  {x | Q9(x)}\n"
+            "  3. 7.000ms rows=50 eff=60%  {x | exists y (Q8(x, y))}\n");
+}
+
+TEST(InspectSampleLogTest, TopSlowestMarksAbortsAndErrors) {
+  std::string out = obs::RenderTopSlowest(SampleScan(), 9);
+  EXPECT_NE(out.find("aborted=max_bytes  {x | Q3(x, x)}"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("error  {x | Q5(x)}"), std::string::npos) << out;
+}
+
+TEST(InspectSampleLogTest, AbortsBreakDownByLimit) {
+  std::string out = obs::RenderAborts(SampleScan());
+  EXPECT_EQ(out,
+            "aborts: 3 of 9 runs\n"
+            "  max_bytes: 2\n"
+            "    e.g. {x | Q3(x, x)}\n"
+            "  max_rows: 1\n"
+            "    e.g. {x | Q7(x)}\n"
+            "errors (non-governor): 1\n");
+}
+
+TEST(InspectSampleLogTest, MisestimatesAggregateByOperator) {
+  std::string out = obs::RenderMisestimates(SampleScan(), 10);
+  EXPECT_EQ(out,
+            "misestimates by operator (worst first)\n"
+            "  HashJoin: count=2 worst=32.0x mean=18.0x\n"
+            "  Scan(R): count=1 worst=2.5x mean=2.5x\n");
+}
+
+TEST(InspectSampleLogTest, SummaryRollsUpRunsAndWall) {
+  std::string out = obs::RenderLogSummary(SampleScan());
+  EXPECT_NE(out.find("records: 11 (compile=2 run=9, bad lines=1)"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("runs: ok=5 errors=1 aborts=3"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("max=12.000ms"), std::string::npos) << out;
+  EXPECT_NE(out.find("rows out: 190"), std::string::npos) << out;
+  EXPECT_NE(out.find("parallel runs: 2"), std::string::npos) << out;
+}
+
+// A generated 1000-record log with known aggregates: wall time rises with
+// the index, every 100th run trips max_bytes, every 250th errors plainly.
+obs::QueryLogScan GeneratedScan() {
+  std::string text;
+  for (int i = 0; i < 1000; ++i) {
+    obs::QueryLogRecord r;
+    r.event = "run";
+    r.query = "q" + std::to_string(i);
+    r.query_hash = obs::HashQueryText(r.query);
+    r.wall_ns = static_cast<uint64_t>(i + 1) * 1000;
+    r.rows_out = static_cast<uint64_t>(i);
+    if (i % 100 == 0) {
+      r.ok = false;
+      r.aborted_limit = "max_bytes";
+      r.error = "RESOURCE_EXHAUSTED: max_bytes exceeded";
+    } else if (i % 250 == 51) {
+      r.ok = false;
+      r.error = "INVALID_ARGUMENT: bad";
+    }
+    text += obs::QueryLogRecordToJson(r) + "\n";
+  }
+  return obs::ParseQueryLogText(text);
+}
+
+TEST(InspectGeneratedLogTest, TopFiveAreTheFiveSlowest) {
+  obs::QueryLogScan scan = GeneratedScan();
+  ASSERT_EQ(scan.records.size(), 1000u);
+  ASSERT_EQ(scan.bad_lines, 0u);
+  std::string out = obs::RenderTopSlowest(scan, 5);
+  EXPECT_EQ(out,
+            "top 5 slowest runs\n"
+            "  1. 1.000ms rows=999  q999\n"
+            "  2. 0.999ms rows=998  q998\n"
+            "  3. 0.998ms rows=997  q997\n"
+            "  4. 0.997ms rows=996  q996\n"
+            "  5. 0.996ms rows=995  q995\n");
+}
+
+TEST(InspectGeneratedLogTest, AbortCountsAreExact) {
+  std::string out = obs::RenderAborts(GeneratedScan());
+  EXPECT_NE(out.find("aborts: 10 of 1000 runs"), std::string::npos) << out;
+  EXPECT_NE(out.find("  max_bytes: 10\n    e.g. q0\n"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("errors (non-governor): 4"), std::string::npos) << out;
+}
+
+TEST(InspectBundleTest, ParsesRendersAndConvertsToChromeTrace) {
+  std::string json =
+      "{\"schema\":1,\"reason\":\"governor_abort\",\"query_hash\":\"42\","
+      "\"query\":\"{x | R(x)}\",\"error\":\"RESOURCE_EXHAUSTED: max_bytes "
+      "exceeded\",\"aborted_limit\":\"max_bytes\","
+      "\"profile\":{\"op\":\"Scan\"},"
+      "\"flight_recorder\":["
+      "{\"ts_ns\":100,\"tid\":1,\"kind\":\"span_begin\",\"name\":\"exec.run\","
+      "\"arg\":0},"
+      "{\"ts_ns\":150,\"tid\":1,\"kind\":\"governor_trip\","
+      "\"name\":\"max_bytes\",\"arg\":4096},"
+      "{\"ts_ns\":200,\"tid\":1,\"kind\":\"span_end\",\"name\":\"exec.run\","
+      "\"arg\":0}]}";
+  auto bundle = obs::ParsePostmortemBundle(json);
+  ASSERT_TRUE(bundle.ok()) << bundle.status().ToString();
+  EXPECT_EQ(bundle->reason, "governor_abort");
+  EXPECT_EQ(bundle->aborted_limit, "max_bytes");
+  EXPECT_EQ(bundle->query_hash, "42");
+  ASSERT_EQ(bundle->events.size(), 3u);
+  EXPECT_EQ(bundle->events[1].kind, "governor_trip");
+  EXPECT_EQ(bundle->events[1].arg, 4096u);
+
+  std::string rendered = obs::RenderBundle(*bundle);
+  EXPECT_NE(rendered.find("reason: governor_abort"), std::string::npos);
+  EXPECT_NE(rendered.find("aborted_limit: max_bytes"), std::string::npos);
+  EXPECT_NE(rendered.find("flight events: 3"), std::string::npos);
+  EXPECT_NE(rendered.find("150 tid=1 governor_trip max_bytes arg=4096"),
+            std::string::npos)
+      << rendered;
+
+  std::string trace = obs::BundleToChromeTrace(*bundle);
+  auto doc = obs::ParseJson(trace);
+  ASSERT_TRUE(doc.ok()) << trace;
+  const obs::JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 3u);
+  EXPECT_EQ(events->array[0].StringOr("ph", ""), "B");
+  EXPECT_EQ(events->array[1].StringOr("ph", ""), "i");
+  EXPECT_EQ(events->array[2].StringOr("ph", ""), "E");
+  // Span begin/end pair up on the same name and tid.
+  EXPECT_EQ(events->array[0].StringOr("name", ""),
+            events->array[2].StringOr("name", ""));
+  EXPECT_EQ(events->array[0].NumberOr("tid", -1),
+            events->array[2].NumberOr("tid", -1));
+}
+
+TEST(InspectBundleTest, RejectsNonObjectAndBadJson) {
+  EXPECT_FALSE(obs::ParsePostmortemBundle("[1,2]").ok());
+  EXPECT_FALSE(obs::ParsePostmortemBundle("{not json").ok());
+}
+
+}  // namespace
+}  // namespace emcalc

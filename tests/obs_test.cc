@@ -4,8 +4,12 @@
 // execution spans.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
@@ -14,9 +18,11 @@
 #include <vector>
 
 #include "src/base/string_pool.h"
+#include "src/base/thread_pool.h"
 #include "src/base/value.h"
 #include "src/core/compiler.h"
 #include "src/obs/compile_profile.h"
+#include "src/obs/inspect.h"
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
 #include "src/obs/query_log.h"
@@ -526,6 +532,196 @@ TEST_F(ObsEndToEndTest, QueryLogRecordsCompileAndRunWithSharedHash) {
   EXPECT_FALSE(records[2].ok);
   EXPECT_FALSE(records[2].em_allowed);
   EXPECT_FALSE(records[2].error.empty());
+}
+
+TEST(MetricsTest, PrometheusExpositionRendersAllMetricKinds) {
+  auto& reg = obs::MetricsRegistry::Instance();
+  reg.GetCounter("promtest.runs").Add(3);
+  reg.GetGauge("promtest.depth").Set(-7);
+  obs::Histogram& h = reg.GetHistogram("promtest.lat_ns", {10.0, 100.0});
+  h.Observe(5);
+  h.Observe(50);
+  h.Observe(500);
+
+  std::string out = reg.RenderPrometheus();
+  EXPECT_NE(out.find("# TYPE emcalc_promtest_runs counter\n"
+                     "emcalc_promtest_runs 3\n"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("# TYPE emcalc_promtest_depth gauge\n"
+                     "emcalc_promtest_depth -7\n"),
+            std::string::npos)
+      << out;
+  // Buckets are cumulative and end with the +Inf catch-all == _count.
+  EXPECT_NE(out.find("# TYPE emcalc_promtest_lat_ns histogram\n"
+                     "emcalc_promtest_lat_ns_bucket{le=\"10\"} 1\n"
+                     "emcalc_promtest_lat_ns_bucket{le=\"100\"} 2\n"
+                     "emcalc_promtest_lat_ns_bucket{le=\"+Inf\"} 3\n"
+                     "emcalc_promtest_lat_ns_sum 555\n"
+                     "emcalc_promtest_lat_ns_count 3\n"),
+            std::string::npos)
+      << out;
+  h.Reset();
+  reg.GetCounter("promtest.runs").Reset();
+  reg.GetGauge("promtest.depth").Reset();
+}
+
+// File-mode query log: buffering, urgent flush on failed runs, rotation.
+class QueryLogFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "emcalc_qlog_" + std::to_string(::getpid());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    path_ = dir_ + "/query_log.jsonl";
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  static std::string ReadAll(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }
+
+  static obs::QueryLogRecord RunRecord(const std::string& query, bool ok,
+                                       const std::string& aborted_limit) {
+    obs::QueryLogRecord r;
+    r.event = "run";
+    r.query = query;
+    r.query_hash = obs::HashQueryText(query);
+    r.ok = ok;
+    r.aborted_limit = aborted_limit;
+    if (!ok) r.error = "RESOURCE_EXHAUSTED: " + aborted_limit + " exceeded";
+    return r;
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST_F(QueryLogFileTest, AbortRecordsBypassTheBuffer) {
+  auto log = obs::QueryLog::Open(path_);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  (*log)->Write(RunRecord("{x | A(x)}", true, ""));
+  // A healthy record is buffered; nothing on disk yet.
+  EXPECT_EQ(ReadAll(path_), "");
+  (*log)->Write(RunRecord("{x | B(x)}", false, "max_bytes"));
+  // The abort flushed the buffer: both lines are on disk immediately.
+  std::string on_disk = ReadAll(path_);
+  EXPECT_NE(on_disk.find("\"query\":\"{x | A(x)}\""), std::string::npos);
+  EXPECT_NE(on_disk.find("\"aborted_limit\":\"max_bytes\""),
+            std::string::npos);
+}
+
+TEST_F(QueryLogFileTest, TrySignalFlushDrainsTheBuffer) {
+  auto log = obs::QueryLog::Open(path_);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  (*log)->Write(RunRecord("{x | A(x)}", true, ""));
+  EXPECT_EQ(ReadAll(path_), "");
+  EXPECT_TRUE((*log)->TrySignalFlush());
+  EXPECT_NE(ReadAll(path_).find("\"query\":\"{x | A(x)}\""),
+            std::string::npos);
+}
+
+TEST_F(QueryLogFileTest, RotatesToDotOneAtSizeCap) {
+  auto log = obs::QueryLog::Open(path_);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  (*log)->SetRotationMaxBytes(512);
+  constexpr int kRecords = 40;
+  for (int i = 0; i < kRecords; ++i) {
+    (*log)->Write(RunRecord("{x | R" + std::to_string(i) + "(x)}", true, ""));
+    (*log)->Flush();
+  }
+  EXPECT_GE((*log)->rotations(), 1u);
+  ASSERT_TRUE(std::filesystem::exists(path_ + ".1"));
+  log->reset();  // final flush
+  // No record was lost across rotations: every line in the live file plus
+  // the newest rotation parses, and the newest record is present.
+  obs::QueryLogScan live = obs::ParseQueryLogText(ReadAll(path_));
+  obs::QueryLogScan rotated = obs::ParseQueryLogText(ReadAll(path_ + ".1"));
+  EXPECT_EQ(live.bad_lines + rotated.bad_lines, 0u);
+  EXPECT_GT(rotated.records.size(), 0u);
+  bool newest_present = false;
+  for (const auto& r : live.records) {
+    if (r.query == "{x | R39(x)}") newest_present = true;
+  }
+  for (const auto& r : rotated.records) {
+    if (r.query == "{x | R39(x)}") newest_present = true;
+  }
+  EXPECT_TRUE(newest_present);
+}
+
+TEST_F(QueryLogFileTest, EnvCapAppliesAtOpen) {
+  setenv("EMCALC_QUERY_LOG_MAX_BYTES", "256", 1);
+  auto log = obs::QueryLog::Open(path_);
+  unsetenv("EMCALC_QUERY_LOG_MAX_BYTES");
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  for (int i = 0; i < 20; ++i) {
+    (*log)->Write(RunRecord("{x | R" + std::to_string(i) + "(x)}", true, ""));
+    (*log)->Flush();
+  }
+  EXPECT_GE((*log)->rotations(), 1u);
+  EXPECT_TRUE(std::filesystem::exists(path_ + ".1"));
+}
+
+TEST(ThreadPoolTelemetryTest, RegionStatsCountMorselsAndBusyTime) {
+  ThreadPool::RegionStats stats;
+  std::atomic<uint64_t> sum{0};
+  ThreadPool::Global().ParallelFor(
+      /*total=*/10'000, /*grain=*/256, /*max_workers=*/4,
+      [&](size_t /*worker*/, size_t begin, size_t end) {
+        uint64_t local = 0;
+        for (size_t i = begin; i < end; ++i) local += i;
+        sum.fetch_add(local, std::memory_order_relaxed);
+      },
+      &stats);
+  EXPECT_EQ(sum.load(), 10'000ull * 9'999 / 2);
+  EXPECT_GT(stats.wall_ns, 0u);
+  EXPECT_GT(stats.busy_ns, 0u);
+  EXPECT_EQ(stats.morsels, (10'000u + 255) / 256);
+  EXPECT_GE(stats.max_workers, 1u);
+}
+
+TEST(ThreadPoolTelemetryTest, WorkerTelemetryAccumulatesAndRendersAsJson) {
+  if (ThreadPool::Global().parallelism() <= 1) {
+    // Single-core box without EMCALC_HARDWARE_THREADS: the pool has no
+    // workers and every region inlines. The TSAN CI leg pins 4 threads.
+    GTEST_SKIP() << "thread pool has no workers";
+  }
+  // The caller drains morsels alongside the workers, so one region may
+  // finish before any pool thread wakes; repeat until a worker shows up.
+  uint64_t worker_morsels = 0;
+  for (int attempt = 0; attempt < 100 && worker_morsels == 0; ++attempt) {
+    ThreadPool::Global().ParallelFor(
+        /*total=*/100'000, /*grain=*/64, /*max_workers=*/4,
+        [](size_t /*worker*/, size_t begin, size_t end) {
+          volatile uint64_t sink = 0;
+          for (size_t i = begin; i < end; ++i) sink += i;
+        });
+    worker_morsels = 0;
+    for (const ThreadPool::WorkerTelemetry& w :
+         ThreadPool::Global().Telemetry()) {
+      worker_morsels += w.morsels;
+    }
+  }
+  EXPECT_GT(worker_morsels, 0u);
+
+  auto json = obs::ParseJson(ThreadPool::GlobalTelemetryJson());
+  ASSERT_TRUE(json.ok()) << ThreadPool::GlobalTelemetryJson();
+  EXPECT_GT(json->NumberOr("parallelism", 0), 0);
+  const obs::JsonValue* workers = json->Find("workers");
+  ASSERT_NE(workers, nullptr);
+  ASSERT_TRUE(workers->is_array());
+  ASSERT_FALSE(workers->array.empty());
+  uint64_t json_morsels = 0;
+  for (const obs::JsonValue& w : workers->array) {
+    json_morsels += static_cast<uint64_t>(w.NumberOr("morsels", 0));
+    EXPECT_GE(w.NumberOr("busy_ns", -1), 0);
+    EXPECT_GE(w.NumberOr("idle_ns", -1), 0);
+    EXPECT_GE(w.NumberOr("regions", -1), 0);
+  }
+  EXPECT_GE(json_morsels, worker_morsels);
 }
 
 TEST_F(ObsEndToEndTest, ParameterizedQueryProfileParity) {

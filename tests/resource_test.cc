@@ -373,6 +373,79 @@ TEST(ExecProfileTest, JsonRoundTripIsExact) {
   EXPECT_EQ(ExecProfileToJson(*parsed), json);
 }
 
+// Recursively sums the par_* contention fields over a profile tree.
+void SumParFields(const ExecProfile& p, uint64_t* morsels, uint64_t* wall) {
+  *morsels += p.stats.par_morsels;
+  *wall += p.stats.par_wall_ns;
+  for (const ExecProfile& c : p.children) SumParFields(c, morsels, wall);
+}
+
+TEST(ExecProfileTest, ParallelRegionsFillContentionTelemetry) {
+  FunctionRegistry registry = BuiltinFunctions();
+  Database db = JoinInstance(20'000);
+  AstContext ctx;
+  AlgebraFactory factory(ctx);
+  const AlgExpr* plan = JoinPlan(ctx, factory);
+  ExecOptions options;
+  options.num_threads = 4;  // both inputs clear the parallel threshold
+  auto lowered = Lower(ctx, plan, registry, options);
+  ASSERT_TRUE(lowered.ok());
+  ExecProfile profile;
+  auto result = lowered->ExecuteToRelation(db, &profile);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  uint64_t morsels = 0;
+  uint64_t wall = 0;
+  SumParFields(profile, &morsels, &wall);
+  EXPECT_GT(morsels, 0u);
+  EXPECT_GT(wall, 0u);
+
+  // The par_* fields survive the JSON round trip byte-exactly.
+  std::string json = ExecProfileToJson(profile);
+  auto parsed = ExecProfileFromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(ExecProfileToJson(*parsed), json);
+  EXPECT_EQ(parsed->stats.par_morsels, profile.stats.par_morsels);
+  EXPECT_EQ(parsed->stats.par_workers, profile.stats.par_workers);
+}
+
+TEST(ExecProfileTest, ParallelSummaryAggregatesAndClampsEfficiency) {
+  ExecProfile leaf;
+  leaf.op = PhysOpKind::kFilterSelect;
+  leaf.stats.par_wall_ns = 100;
+  leaf.stats.par_busy_ns = 150;
+  leaf.stats.par_morsels = 8;
+  leaf.stats.par_workers = 2;
+
+  ExecProfile inline_op;  // ran inline; must not dilute the summary
+  inline_op.op = PhysOpKind::kScan;
+  inline_op.stats.par_wall_ns = 500;
+  inline_op.stats.par_workers = 1;
+
+  ExecProfile root;
+  root.op = PhysOpKind::kHashJoin;
+  root.stats.par_wall_ns = 200;
+  root.stats.par_busy_ns = 600;
+  root.stats.par_morsels = 16;
+  root.stats.par_workers = 4;
+  root.children.push_back(leaf);
+  root.children.push_back(inline_op);
+
+  ParallelSummary par = SumParallel(root);
+  EXPECT_EQ(par.morsels, 24u);
+  EXPECT_EQ(par.max_workers, 4u);
+  EXPECT_EQ(par.busy_ns, 750u);
+  // weighted wall = 100*2 + 200*4; the inline op contributes nothing.
+  EXPECT_EQ(par.weighted_wall_ns, 1000u);
+  EXPECT_DOUBLE_EQ(par.Efficiency(), 0.75);
+
+  // Busy exceeding the weighted wall (timer skew) clamps to 1.
+  root.stats.par_busy_ns = 10'000;
+  EXPECT_DOUBLE_EQ(SumParallel(root).Efficiency(), 1.0);
+
+  EXPECT_DOUBLE_EQ(ParallelSummary{}.Efficiency(), 0.0);
+}
+
 TEST(PlanFeedbackTest, RanksOperatorsByMisestimationFactor) {
   ExecProfile scan;
   scan.op = PhysOpKind::kScan;
