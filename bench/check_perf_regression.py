@@ -20,6 +20,12 @@ bench_obs_overhead are also gated: every record in that file carries a
 query wall, flight-recorder overhead <1%), so any "pass": false fails
 the gate regardless of machine speed.
 
+The current file's bench:"verify_overhead" records (stage-boundary plan
+verification cost, emitted by bench_flat_exec) are gated the same way:
+each carries a self-judged "pass" flag (compile-phase overhead <2%), and
+any "pass": false fails the gate. Baselines predating the verifier are
+fine — the gate only fires on records that exist.
+
 Exit status: 0 when no gated series regresses, 1 otherwise.
 """
 
@@ -93,6 +99,37 @@ def check_obs(path):
     return failures
 
 
+def check_verify_overhead(path):
+    """Gate the self-judging verify_overhead verdicts in `path`.
+
+    Every verify_overhead record carries a "pass" flag (stage-boundary
+    verification adds <2% to the compile phase). Returns the failing
+    records; files without such records (pre-verifier baselines) pass.
+    """
+    failures = []
+    total = 0
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("bench") != "verify_overhead":
+                continue
+            total += 1
+            pct = rec.get("overhead_pct", 0.0)
+            verdict = "ok" if rec.get("pass") else "FAIL"
+            print(f"  verify_overhead {pct:>8.4f}%  {verdict}  "
+                  f"({rec.get('compiles', '?')} queries, "
+                  f"small {rec.get('small_pct', 0.0):.2f}% / "
+                  f"chain {rec.get('chain_pct', 0.0):.2f}%)")
+            if not rec.get("pass"):
+                failures.append(pct)
+    if total == 0:
+        print("  verify_overhead: no records (pre-verifier file) — skipped")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -148,6 +185,10 @@ def main():
         obs_failures = check_obs(args.obs)
 
     print()
+    print(f"stage-boundary verification overhead gate ({args.current}):")
+    verify_failures = check_verify_overhead(args.current)
+
+    print()
     if failures:
         print(f"FAIL: {len(failures)} gated series regressed past "
               f"{(1 - args.threshold) * 100:.0f}% (threshold "
@@ -159,7 +200,12 @@ def main():
               f"verdicts failed:")
         for variant, query in obs_failures:
             print(f"  {variant}: {query}")
-    if failures or obs_failures:
+    if verify_failures:
+        print(f"FAIL: {len(verify_failures)} verify_overhead verdicts "
+              f"failed (compile-phase overhead >=2%):")
+        for pct in verify_failures:
+            print(f"  overhead {pct:.4f}%")
+    if failures or obs_failures or verify_failures:
         return 1
     print(f"ok: no gated series regressed past "
           f"{(1 - args.threshold) * 100:.0f}%"

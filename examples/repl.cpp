@@ -44,6 +44,7 @@
 #include "src/obs/resource.h"
 #include "src/obs/trace.h"
 #include "src/storage/csv.h"
+#include "src/verify/verify.h"
 
 namespace {
 
@@ -66,6 +67,7 @@ void PrintHelp() {
       "  .postmortem DIR | off | status | now   abort/crash bundles\n"
       "  .prometheus             metrics in Prometheus text format\n"
       "  .pool                   thread-pool contention telemetry\n"
+      "  .verify on | off | status   stage-boundary plan verification\n"
       "  help | quit\n"
       "anything else is evaluated as a query, e.g. {x | EDGE(x, y)}\n");
 }
@@ -345,6 +347,25 @@ int main() {
         std::printf("unknown relation '%s'\n", name.c_str());
       } else {
         std::printf("%s", rel->ToString().c_str());
+      }
+      continue;
+    }
+    if (command == ".verify") {
+      std::string arg;
+      words >> arg;
+      if (arg == "on") {
+        emcalc::verify::ForceEnabled(1);
+        std::printf("stage-boundary verification on\n");
+      } else if (arg == "off") {
+        emcalc::verify::ForceEnabled(0);
+        std::printf("stage-boundary verification off\n");
+      } else if (arg == "default") {
+        emcalc::verify::ForceEnabled(-1);
+        std::printf("stage-boundary verification %s (build/env default)\n",
+                    emcalc::verify::Enabled() ? "on" : "off");
+      } else {
+        std::printf("stage-boundary verification %s\n",
+                    emcalc::verify::Enabled() ? "on" : "off");
       }
       continue;
     }

@@ -4,6 +4,23 @@
 
 namespace emcalc {
 
+const char* AlgKindName(AlgKind kind) {
+  static_assert(static_cast<int>(AlgKind::kAdom) == kNumAlgKinds - 1,
+                "AlgKindName must cover every AlgKind");
+  switch (kind) {
+    case AlgKind::kRel: return "kRel";
+    case AlgKind::kProject: return "kProject";
+    case AlgKind::kSelect: return "kSelect";
+    case AlgKind::kJoin: return "kJoin";
+    case AlgKind::kUnion: return "kUnion";
+    case AlgKind::kDiff: return "kDiff";
+    case AlgKind::kUnit: return "kUnit";
+    case AlgKind::kEmpty: return "kEmpty";
+    case AlgKind::kAdom: return "kAdom";
+  }
+  return "?";
+}
+
 int AlgExpr::NodeCount() const {
   int n = 1;
   if (left_ != nullptr) n += left_->NodeCount();

@@ -23,6 +23,10 @@
 
 namespace emcalc {
 
+namespace verify {
+class PlanMutator;
+}  // namespace verify
+
 // Operator tags for AlgExpr.
 enum class AlgKind : uint8_t {
   kRel,        // base relation scan
@@ -35,6 +39,13 @@ enum class AlgKind : uint8_t {
   kEmpty,      // empty relation of given arity
   kAdom,       // term^level(active domain + listed constants)
 };
+
+// Number of AlgKind tags; static_asserts next to each kind-dispatch table
+// keep the tables in sync when a kind is added.
+inline constexpr int kNumAlgKinds = 9;
+
+// Stable display name, e.g. "kJoin".
+const char* AlgKindName(AlgKind kind);
 
 // Comparison operators available in select/join conditions. kLt/kLe use
 // the total order on Values (ints before strings).
@@ -88,6 +99,10 @@ class AlgExpr {
 
  private:
   friend class AlgebraFactory;
+  // The mutation harness (src/verify/mutate.h) builds deliberately corrupt
+  // clones to prove the stage-boundary verifier catches them; it must
+  // bypass the factory's construction-time checks.
+  friend class verify::PlanMutator;
 
   AlgKind kind_ = AlgKind::kUnit;
   int arity_ = 0;

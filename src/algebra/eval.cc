@@ -51,8 +51,11 @@ class Evaluator {
         CountRefs(plan->left());
         CountRefs(plan->right());
         break;
-      default:
-        break;
+      case AlgKind::kRel:
+      case AlgKind::kUnit:
+      case AlgKind::kEmpty:
+      case AlgKind::kAdom:
+        break;  // leaves
     }
   }
 

@@ -167,6 +167,9 @@ class AstContext {
   uint32_t InternConstant(const Value& v);
   // The value for a pool index.
   const Value& ConstantAt(uint32_t id) const;
+  // Number of interned constants; valid pool ids are [0, NumConstants()).
+  // The stage-boundary verifier range-checks every kConst against this.
+  size_t NumConstants() const { return constants_.size(); }
 
   // --- term constructors ---
   const Term* MakeVar(Symbol v);

@@ -24,6 +24,7 @@
 #include "src/obs/trace.h"
 #include "src/translate/algebra_gen.h"
 #include "src/translate/ranf.h"
+#include "src/verify/verify.h"
 
 namespace emcalc {
 
@@ -349,6 +350,22 @@ StatusOr<CompiledQuery> Compiler::Compile(std::string_view text,
                std::move(diags));
     return q.status();
   }
+  // Stage boundary 1: the parsed tree. Parsed (as opposed to
+  // programmatically built) queries must carry source spans throughout.
+  if (verify::Enabled()) {
+    verify::VerifyReport vr =
+        verify::VerifyCalculus(*ctx_, *q, /*require_spans=*/true);
+    if (!vr.ok()) {
+      CompileMetrics::Get().queries.Add();
+      CompileMetrics::Get().errors.Add();
+      profile.wall_ns = obs::NowNs() - start_ns;
+      Status status = vr.ToStatus();
+      LogCompile(std::string(text), status, profile, nullptr, &*q,
+                 LintToLogEnabled() ? vr.ToDiagnostics()
+                                    : std::vector<diag::Diagnostic>{});
+      return status;
+    }
+  }
   return CompileImpl(*q, options, std::move(profile), start_ns,
                      std::string(text));
 }
@@ -371,9 +388,21 @@ Status Compiler::DefineView(std::string_view name,
 StatusOr<CompiledQuery> Compiler::CompileQuery(
     const Query& q, const TranslateOptions& options) {
   obs::Span span("compile");
+  uint64_t start_ns = obs::NowNs();
   obs::CompilePhase profile;
   profile.name = "compile";
-  return CompileImpl(q, options, std::move(profile), obs::NowNs(),
+  // Stage boundary 1 for programmatically built queries; these carry no
+  // source text, so spans are not required.
+  if (verify::Enabled()) {
+    verify::VerifyReport vr =
+        verify::VerifyCalculus(*ctx_, q, /*require_spans=*/false);
+    if (!vr.ok()) {
+      CompileMetrics::Get().queries.Add();
+      CompileMetrics::Get().errors.Add();
+      return vr.ToStatus();
+    }
+  }
+  return CompileImpl(q, options, std::move(profile), start_ns,
                      QueryToString(*ctx_, q));
 }
 
@@ -419,6 +448,13 @@ StatusOr<CompiledQuery> Compiler::CompileImpl(const Query& q,
     }
   }
   if (!translation.ok()) {
+    if (lint_to_log) {
+      // Stage-boundary verification failures inside the translator surface
+      // as structured diagnostics on the compile record, like lint findings.
+      std::vector<diag::Diagnostic> vd =
+          verify::DiagnosticsFromStatus(translation.status());
+      for (diag::Diagnostic& d : vd) log_diags.push_back(std::move(d));
+    }
     if (lint_to_log && translation.status().code() == StatusCode::kNotSafe) {
       // Re-run the safety check to attach the structured blame trace; the
       // bd sets are memoized per formula, so this costs one extra closure.
@@ -442,6 +478,17 @@ StatusOr<CompiledQuery> Compiler::CompileImpl(const Query& q,
       physical = std::make_shared<const PhysicalPlan>(
           std::move(lowered).value());
     } else {
+      // A stage-boundary verification failure means the lowered plan is
+      // structurally wrong — fail the compile rather than hand out a query
+      // that would re-lower into the same broken plan at execution.
+      std::vector<diag::Diagnostic> vd =
+          verify::DiagnosticsFromStatus(lowered.status());
+      if (!vd.empty()) {
+        if (lint_to_log) {
+          for (diag::Diagnostic& d : vd) log_diags.push_back(std::move(d));
+        }
+        return fail(lowered.status(), &*translation);
+      }
       // Keep the query usable for inspection; executions will re-lower and
       // report this error.
       timer.SetDetail("failed: " + lowered.status().ToString());

@@ -8,6 +8,7 @@
 #include "src/base/check.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/verify/verify.h"
 
 namespace emcalc {
 namespace {
@@ -74,8 +75,11 @@ class Lowerer {
         CountRefs(node->left());
         CountRefs(node->right());
         break;
-      default:
-        break;
+      case AlgKind::kRel:
+      case AlgKind::kUnit:
+      case AlgKind::kEmpty:
+      case AlgKind::kAdom:
+        break;  // leaves
     }
   }
 
@@ -244,6 +248,12 @@ StatusOr<PhysicalPlan> Lower(const AstContext& ctx, const AlgExpr* plan,
   lowered.Add();
   Lowerer lowerer(ctx, registry, options);
   auto physical = lowerer.Lower(plan);
+  // Stage boundary 5: the physical plan must mirror the algebra plan it
+  // was lowered from, operator by operator.
+  if (physical.ok() && verify::Enabled()) {
+    verify::VerifyReport vr = verify::VerifyPhysical(*physical, plan);
+    if (!vr.ok()) return vr.ToStatus();
+  }
   if (physical.ok() && span.enabled()) {
     span.SetDetail("ops=" + std::to_string(physical->NumOperators()));
   }

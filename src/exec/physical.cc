@@ -86,6 +86,9 @@ std::string OpDetail(const PhysicalOp* op) {
 }  // namespace
 
 const char* PhysOpKindName(PhysOpKind kind) {
+  static_assert(static_cast<int>(PhysOpKind::kMaterialize) ==
+                    kNumPhysOpKinds - 1,
+                "PhysOpKindName must cover every PhysOpKind");
   switch (kind) {
     case PhysOpKind::kScan: return "Scan";
     case PhysOpKind::kProjectMap: return "ProjectMap";
@@ -892,7 +895,7 @@ StatusOr<ExecProfile> ProfileFromJsonValue(const obs::JsonValue& v) {
   ExecProfile p;
   std::string op_name = v.StringOr("op", "");
   bool found = false;
-  for (int k = 0; k <= static_cast<int>(PhysOpKind::kMaterialize); ++k) {
+  for (int k = 0; k < kNumPhysOpKinds; ++k) {
     auto kind = static_cast<PhysOpKind>(k);
     if (op_name == PhysOpKindName(kind)) {
       p.op = kind;

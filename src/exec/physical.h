@@ -57,6 +57,10 @@ enum class PhysOpKind : uint8_t {
   kMaterialize,
 };
 
+// Number of PhysOpKind tags; static_asserts next to each kind-dispatch
+// table keep the tables in sync when a kind is added.
+inline constexpr int kNumPhysOpKinds = 10;
+
 // Stable display name, e.g. "HashJoin".
 const char* PhysOpKindName(PhysOpKind kind);
 
@@ -236,11 +240,20 @@ class PhysicalPlan {
 
   const PhysicalOp* root() const { return root_; }
   int NumOperators() const { return static_cast<int>(ops_.size()); }
+  // Materialize cache slots allocated at lowering time; every Materialize
+  // op's memo_slot must be a distinct index in [0, NumMemoSlots()).
+  int NumMemoSlots() const { return num_memo_slots_; }
+  // The constant pool kConst expressions resolve against (null only on a
+  // default-constructed plan).
+  const AstContext* ctx() const { return ctx_; }
   const ExecOptions& options() const { return options_; }
 
  private:
   friend class Lowerer;
   friend struct ExecContext;
+  // The mutation harness (src/verify/mutate.h) corrupts lowered plans in
+  // place to prove the stage-boundary verifier catches them.
+  friend class verify::PlanMutator;
 
   std::vector<std::unique_ptr<PhysicalOp>> ops_;
   const PhysicalOp* root_ = nullptr;

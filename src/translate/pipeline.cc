@@ -8,6 +8,7 @@
 #include "src/translate/algebra_gen.h"
 #include "src/translate/distribute.h"
 #include "src/translate/ranf.h"
+#include "src/verify/verify.h"
 
 namespace emcalc {
 
@@ -67,6 +68,13 @@ StatusOr<Translation> TranslateQuery(AstContext& ctx, const Query& q,
     timer.SetDetail("size=" + std::to_string(FormulaSize(out.enf)));
   }
 
+  // Stage boundary 2: the rectified + safety-checked formula in ENF.
+  if (verify::Enabled()) {
+    verify::VerifyReport vr =
+        verify::VerifySafetyFormula(ctx, out.enf, FreeVars(query.body));
+    if (!vr.ok()) return vr.ToStatus();
+  }
+
   const Formula* pre_ranf = out.enf;
   if (options.distribute_disjunctions) {
     obs::PhaseTimer timer(&out.profile, "distribute", "compile.distribute");
@@ -91,6 +99,16 @@ StatusOr<Translation> TranslateQuery(AstContext& ctx, const Query& q,
     timer.SetDetail("nodes=" + std::to_string(out.raw_plan->NodeCount()));
   }
 
+  // Stage boundary 3: the RANF formula and the raw translated plan.
+  if (verify::Enabled()) {
+    verify::AlgebraOptions opts;
+    opts.expected_arity = static_cast<int>(query.head.size());
+    verify::VerifyReport vr =
+        verify::VerifyRanfAlgebra(ctx, out.ranf, SymbolSet{},
+                                  bound.invertible_fns, out.raw_plan, opts);
+    if (!vr.ok()) return vr.ToStatus();
+  }
+
   if (options.optimize) {
     obs::PhaseTimer timer(&out.profile, "optimize", "compile.optimize");
     AlgebraFactory factory(ctx);
@@ -100,6 +118,17 @@ StatusOr<Translation> TranslateQuery(AstContext& ctx, const Query& q,
   } else {
     out.plan = out.raw_plan;
   }
+
+  // Stage boundary 4: the optimized plan (the optimizer must preserve
+  // every structural invariant the raw plan had).
+  if (options.optimize && verify::Enabled()) {
+    verify::AlgebraOptions opts;
+    opts.stage = verify::Stage::kOptimizedAlgebra;
+    opts.expected_arity = static_cast<int>(query.head.size());
+    verify::VerifyReport vr = verify::VerifyAlgebra(ctx, out.plan, opts);
+    if (!vr.ok()) return vr.ToStatus();
+  }
+
   out.profile.wall_ns = obs::NowNs() - start_ns;
 
   static obs::Counter& translations =

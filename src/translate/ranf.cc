@@ -54,10 +54,15 @@ bool AtomOk(const Formula* f, const SymbolSet& x,
   }
 }
 
-}  // namespace
-
-bool IsRanf(const Formula* f, const SymbolSet& x,
-            const SymbolSet& invertible) {
+// Bottom-up worker for IsRanf. Checks RANF-ness of `f` under context `x`
+// and, when it returns true, leaves f's free variables in `fv` so
+// connectives reuse their children's sets. The naive formulation calls
+// FreeVars on every kNot/kAnd/kOr child, re-traversing each subtree once
+// per ancestor — quadratic in formula depth; this keeps the check linear,
+// which matters because the stage-boundary verifier runs it on every
+// compiled query.
+bool IsRanfFv(const Formula* f, const SymbolSet& x,
+              const SymbolSet& invertible, SymbolSet& fv) {
   switch (f->kind()) {
     case FormulaKind::kTrue:
     case FormulaKind::kFalse:
@@ -66,32 +71,59 @@ bool IsRanf(const Formula* f, const SymbolSet& x,
     case FormulaKind::kNeq:
     case FormulaKind::kLess:
     case FormulaKind::kLessEq:
+      fv = FreeVars(f);
       return AtomOk(f, x, invertible);
     case FormulaKind::kNot:
-      return FreeVars(f->child()).IsSubsetOf(x) &&
-             IsRanf(f->child(), x, invertible);
+      return IsRanfFv(f->child(), x, invertible, fv) && fv.IsSubsetOf(x);
     case FormulaKind::kAnd: {
       SymbolSet avail = x;
+      SymbolSet acc;
       for (const Formula* c : f->children()) {
-        if (!IsRanf(c, avail, invertible)) return false;
-        avail = avail.Union(FreeVars(c));
+        SymbolSet cfv;
+        if (!IsRanfFv(c, avail, invertible, cfv)) return false;
+        avail = avail.Union(cfv);
+        acc = acc.Union(cfv);
       }
+      fv = std::move(acc);
       return true;
     }
     case FormulaKind::kOr: {
-      SymbolSet expected = FreeVars(f->children()[0]).Minus(x);
+      SymbolSet acc;
+      SymbolSet expected;
+      bool first = true;
       for (const Formula* c : f->children()) {
-        if (!IsRanf(c, x, invertible)) return false;
-        if (FreeVars(c).Minus(x) != expected) return false;
+        SymbolSet cfv;
+        if (!IsRanfFv(c, x, invertible, cfv)) return false;
+        SymbolSet introduced = cfv.Minus(x);
+        if (first) {
+          expected = std::move(introduced);
+          first = false;
+        } else if (introduced != expected) {
+          return false;
+        }
+        acc = acc.Union(cfv);
       }
+      fv = std::move(acc);
       return true;
     }
-    case FormulaKind::kExists:
-      return IsRanf(f->child(), x, invertible);
+    case FormulaKind::kExists: {
+      if (!IsRanfFv(f->child(), x, invertible, fv)) return false;
+      std::vector<Symbol> bound(f->vars().begin(), f->vars().end());
+      fv = fv.Minus(SymbolSet(std::move(bound)));
+      return true;
+    }
     case FormulaKind::kForall:
       return false;
   }
   return false;
+}
+
+}  // namespace
+
+bool IsRanf(const Formula* f, const SymbolSet& x,
+            const SymbolSet& invertible) {
+  SymbolSet fv;
+  return IsRanfFv(f, x, invertible, fv);
 }
 
 StatusOr<const Formula*> ToRanf(AstContext& ctx, const Formula* f,

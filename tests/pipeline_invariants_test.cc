@@ -12,16 +12,21 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <sstream>
 
 #include "src/algebra/eval.h"
 #include "src/algebra/printer.h"
 #include "src/calculus/analysis.h"
 #include "src/calculus/parser.h"
 #include "src/calculus/printer.h"
+#include "src/core/compiler.h"
 #include "src/core/random_query.h"
 #include "src/core/workload.h"
+#include "src/exec/lower.h"
+#include "src/obs/query_log.h"
 #include "src/storage/adom.h"
 #include "src/translate/pipeline.h"
+#include "src/verify/verify.h"
 
 namespace emcalc {
 namespace {
@@ -42,8 +47,11 @@ void CollectPlan(const AlgExpr* plan, std::set<AlgKind>& kinds,
       CollectPlan(plan->left(), kinds, rels);
       CollectPlan(plan->right(), kinds, rels);
       break;
-    default:
-      break;
+    case AlgKind::kRel:
+    case AlgKind::kUnit:
+    case AlgKind::kEmpty:
+    case AlgKind::kAdom:
+      break;  // leaves
   }
 }
 
@@ -186,6 +194,92 @@ TEST(PipelineInvariantsTest, NamedCorpusPlanShapesAreStable) {
     ASSERT_TRUE(t.ok()) << g.query;
     EXPECT_EQ(AlgExprToString(ctx, t->plan), g.plan) << g.query;
   }
+}
+
+// --- stage-boundary verification over the named corpus ---
+
+// Every paper-corpus query must verify clean at all five stage boundaries
+// (calculus, safety formula, RANF algebra, optimized algebra, physical).
+// Stages 2-4 run inside TranslateQuery and stage 5 inside Lower when
+// verification is forced on; stages 1, 4, and 5 are additionally checked
+// via explicit reports so a clean Status provably means a clean report.
+TEST(PipelineInvariantsTest, PaperCorpusVerifiesCleanAtEveryStage) {
+  verify::ForceEnabled(1);
+  const char* corpus[] = {
+      "{y | exists x (R(x) and y = g(f(x)))}",
+      "{x | R(x) and exists y (f(x) = y and not R(y))}",
+      "{x, y | B(x) and not (((f(x) != y and g(x) != y) or R(x, y)) and "
+      "((h(x) != y and k(x) != y) or P(x, y)))}",
+      "{x, y | (R(x) and f(x) = y) or (S(y) and g(y) = x)}",
+      "{x, y, z | R(x, y, z) and not S(y, z)}",
+      "{x | R(x) and x < 4}",
+  };
+  FunctionRegistry registry = BuiltinFunctions();
+  auto mod_fn = [](int64_t mul, int64_t add) {
+    return [mul, add](std::span<const Value> a) {
+      int64_t n = a[0].is_int() ? a[0].AsInt() : 17;
+      return Value::Int((n * mul + add) % 7);
+    };
+  };
+  registry.Register("f", 1, mod_fn(1, 1));
+  registry.Register("g", 1, mod_fn(2, 0));
+  registry.Register("h", 1, mod_fn(3, 2));
+  registry.Register("k", 1, mod_fn(1, 4));
+  for (const char* text : corpus) {
+    AstContext ctx;
+    auto q = ParseQuery(ctx, text);
+    ASSERT_TRUE(q.ok()) << text;
+    verify::VerifyReport calc =
+        verify::VerifyCalculus(ctx, *q, /*require_spans=*/true);
+    EXPECT_TRUE(calc.ok()) << text << "\n" << calc.ToString();
+    auto t = TranslateQuery(ctx, *q);
+    ASSERT_TRUE(t.ok()) << text << ": " << t.status().ToString();
+    verify::AlgebraOptions opts;
+    opts.stage = verify::Stage::kOptimizedAlgebra;
+    opts.expected_arity = static_cast<int>(q->head.size());
+    verify::VerifyReport alg = verify::VerifyAlgebra(ctx, t->plan, opts);
+    EXPECT_TRUE(alg.ok()) << text << "\n" << alg.ToString();
+    auto lowered = Lower(ctx, t->plan, registry);
+    ASSERT_TRUE(lowered.ok()) << text << ": " << lowered.status().ToString();
+    verify::VerifyReport phys = verify::VerifyPhysical(*lowered, t->plan);
+    EXPECT_TRUE(phys.ok()) << text << "\n" << phys.ToString();
+  }
+  verify::ForceEnabled(-1);
+}
+
+// Round trip: a stage-boundary violation during compile lands on the
+// query-log compile record as a structured "verify.*" diagnostic (like
+// lint findings), and survives the JSONL encode/decode.
+TEST(PipelineInvariantsTest, VerifyViolationsAttachToCompileRecords) {
+  verify::ForceEnabled(1);
+  ::setenv("EMCALC_LINT", "1", 1);
+  std::ostringstream sink;
+  obs::QueryLog log(&sink);
+  obs::QueryLog* saved = obs::GetQueryLog();
+  obs::SetQueryLog(&log);
+
+  Compiler compiler;
+  // Parses fine, but uses R with two different arities — a stage-1
+  // verification failure.
+  auto q = compiler.Compile("{x | R(x) and exists y (R(x, y))}");
+  EXPECT_FALSE(q.ok());
+
+  obs::SetQueryLog(saved);
+  ::unsetenv("EMCALC_LINT");
+  verify::ForceEnabled(-1);
+
+  std::istringstream in(sink.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  auto record = obs::ParseQueryLogRecord(line);
+  ASSERT_TRUE(record.ok()) << line;
+  EXPECT_EQ(record->event, "compile");
+  EXPECT_FALSE(record->ok);
+  bool found = false;
+  for (const diag::Diagnostic& d : record->diagnostics) {
+    if (d.code == "verify.form.rel-arity") found = true;
+  }
+  EXPECT_TRUE(found) << "no verify.form.rel-arity diagnostic in: " << line;
 }
 
 }  // namespace
