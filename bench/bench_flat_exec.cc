@@ -7,7 +7,9 @@
 // tuple, with the bucket-map join EvalJoin used. Against it run the
 // symmetric hand-rolled kernels over the interned flat layout
 // ("flat_layout" — isolates the representation change) and the full
-// physical operator stack at 1, 2, and hardware threads. Rows/sec per
+// physical operator stack at 1, 2, and hardware threads, plus the
+// single-threaded "tuple" (batch_size=1) vs "batch" (batch_size=1024)
+// pair that isolates the vectorized scalar-program kernels. Rows/sec per
 // variant goes to BENCH_perf.json.
 #include <benchmark/benchmark.h>
 
@@ -153,16 +155,60 @@ size_t OldLayoutFilter(const OldRelation& in) {
   return out.SizeNormalized();
 }
 
-// The pre-flat scalar map: succ(col0) per row (the builtin's totality
-// coercion maps strings to their length), fresh row per output.
+// The scalar-heavy projection shared by every project_map variant:
+//   out0 = plus(mix(succ(c0), double(succ(c0))), abs(neg(half(c0))))
+//   out1 = minus(max2(succ(c0), abs(neg(half(c0)))), min2(c0, c1))
+// — fifteen applications per row on the tuple path (shared subtrees
+// re-evaluated), ten compiled ops per batch (succ/half/neg/abs CSE'd).
+// The builtins' totality coercion maps strings to their length; the
+// arithmetic below mirrors the builtin bodies exactly.
+int64_t NumCoerce(const OldValue& v) {
+  return std::holds_alternative<int64_t>(v)
+             ? std::get<int64_t>(v)
+             : static_cast<int64_t>(std::get<std::string>(v).size());
+}
+
+int64_t MixNum(int64_t a, int64_t b) {
+  uint64_t x = static_cast<uint64_t>(a) * 0x9e3779b97f4a7c15ULL +
+               static_cast<uint64_t>(b);
+  x ^= x >> 29;
+  return static_cast<int64_t>(x & 0x7fffffff);
+}
+
+int64_t ChainOut0(int64_t n) {
+  int64_t s = n + 1;
+  int64_t a = std::abs(-(n / 2));
+  return MixNum(s, 2 * s) + a;
+}
+
+int64_t ChainOut1(int64_t n0, int64_t n1) {
+  int64_t s = n0 + 1;
+  int64_t a = std::abs(-(n0 / 2));
+  return std::max(s, a) - std::min(n0, n1);
+}
+
+// The pre-flat scalar map: the scalar chain per row, fresh row per output.
 size_t OldLayoutProject(const OldRelation& in) {
   OldRelation out;
   out.arity = in.arity;
   for (const OldTuple& t : in.rows) {
-    int64_t n = std::holds_alternative<int64_t>(t[0])
-                    ? std::get<int64_t>(t[0])
-                    : static_cast<int64_t>(std::get<std::string>(t[0]).size());
-    out.rows.push_back(OldTuple{OldValue(n + 1), t[1]});
+    int64_t n0 = NumCoerce(t[0]);
+    out.rows.push_back(
+        OldTuple{OldValue(ChainOut0(n0)),
+                 OldValue(ChainOut1(n0, NumCoerce(t[1])))});
+  }
+  return out.SizeNormalized();
+}
+
+// The pre-flat filter-then-map chain: c0 < c1 survivors through the
+// scalar chain (the FilterSelect→ProjectMap shape the batch kernels fuse).
+size_t OldLayoutScalarChain(const OldRelation& in) {
+  OldRelation out;
+  out.arity = 1;
+  for (const OldTuple& t : in.rows) {
+    if (t[0] < t[1]) {
+      out.rows.push_back(OldTuple{OldValue(ChainOut0(NumCoerce(t[0])))});
+    }
   }
   return out.SizeNormalized();
 }
@@ -209,15 +255,29 @@ size_t FlatLayoutFilter(const Relation& in) {
   return out.size();
 }
 
+int64_t FlatNumCoerce(const Value& v) {
+  return v.is_int() ? v.AsInt()
+                    : static_cast<int64_t>(v.AsStr().size());
+}
+
 size_t FlatLayoutProject(const Relation& in) {
   Relation out(in.arity());
   Value row[2];
   for (TupleRef t : in) {
-    int64_t n = t[0].is_int()
-                    ? t[0].AsInt()
-                    : static_cast<int64_t>(t[0].AsStr().size());
-    row[0] = Value::Int(n + 1);
-    row[1] = t[1];
+    int64_t n0 = FlatNumCoerce(t[0]);
+    row[0] = Value::Int(ChainOut0(n0));
+    row[1] = Value::Int(ChainOut1(n0, FlatNumCoerce(t[1])));
+    out.AppendRow(row);
+  }
+  return out.size();
+}
+
+size_t FlatLayoutScalarChain(const Relation& in) {
+  Relation out(1);
+  Value row[1];
+  for (TupleRef t : in) {
+    if (!(t[0] < t[1])) continue;
+    row[0] = Value::Int(ChainOut0(FlatNumCoerce(t[0])));
     out.AppendRow(row);
   }
   return out.size();
@@ -229,6 +289,7 @@ struct Plans {
   const AlgExpr* join = nullptr;
   const AlgExpr* filter = nullptr;
   const AlgExpr* project = nullptr;
+  const AlgExpr* chain = nullptr;
 };
 
 Plans MakePlans(AstContext& ctx, AlgebraFactory& factory) {
@@ -239,19 +300,40 @@ Plans MakePlans(AstContext& ctx, AlgebraFactory& factory) {
                         factory.Rel("R", 2), factory.Rel("S", 2));
   p.filter = factory.Select({{e.Col(0), AlgCompareOp::kLt, e.Col(1)}},
                             factory.Rel("R", 2));
-  emcalc::Symbol succ = ctx.symbols().Intern("succ");
-  const emcalc::ScalarExpr* args[] = {e.Col(0)};
-  p.project =
-      factory.Project({e.Apply(succ, args), e.Col(1)}, factory.Rel("R", 2));
+  auto apply1 = [&](const char* fn, const emcalc::ScalarExpr* a) {
+    const emcalc::ScalarExpr* args[] = {a};
+    return e.Apply(ctx.symbols().Intern(fn), args);
+  };
+  auto apply2 = [&](const char* fn, const emcalc::ScalarExpr* a,
+                    const emcalc::ScalarExpr* b) {
+    const emcalc::ScalarExpr* args[] = {a, b};
+    return e.Apply(ctx.symbols().Intern(fn), args);
+  };
+  // The shared subtrees (succ(c0), abs(neg(half(c0)))) are CSE'd by the
+  // compiled batch program but re-evaluated by the tuple path — mirrors
+  // ChainOut0/ChainOut1 in the hand kernels above.
+  const emcalc::ScalarExpr* s = apply1("succ", e.Col(0));
+  const emcalc::ScalarExpr* a = apply1("abs", apply1("neg", apply1("half", e.Col(0))));
+  const emcalc::ScalarExpr* out0 =
+      apply2("plus", apply2("mix", s, apply1("double", s)), a);
+  const emcalc::ScalarExpr* out1 =
+      apply2("minus", apply2("max2", s, a), apply2("min2", e.Col(0), e.Col(1)));
+  p.project = factory.Project({out0, out1}, factory.Rel("R", 2));
+  p.chain = factory.Project(
+      {out0}, factory.Select({{e.Col(0), AlgCompareOp::kLt, e.Col(1)}},
+                             factory.Rel("R", 2)));
   return p;
 }
 
-// Best-of-reps wall time of one flat execution at `threads` workers.
+// Best-of-reps wall time of one flat execution at `threads` workers and
+// `batch_size` rows per batch (1 = tuple-at-a-time, 0 = default batched).
 uint64_t FlatWallNs(const AstContext& ctx, const AlgExpr* plan,
                     const Database& db, const FunctionRegistry& registry,
-                    size_t threads, size_t* out_rows, int reps = 3) {
+                    size_t threads, size_t batch_size, size_t* out_rows,
+                    int reps = 3) {
   ExecOptions options;
   options.num_threads = threads;
+  if (batch_size > 0) options.batch_size = batch_size;
   auto physical = Lower(ctx, plan, registry, options);
   if (!physical.ok()) return 0;
   uint64_t best = UINT64_MAX;
@@ -343,6 +425,13 @@ void ReportProfile(const DataProfile& profile) {
        [](const Relation& r, const Relation&) {
          return FlatLayoutProject(r);
        }},
+      {"scalar_chain", plans.chain,
+       [](const OldRelation& r, const OldRelation&) {
+         return OldLayoutScalarChain(r);
+       },
+       [](const Relation& r, const Relation&) {
+         return FlatLayoutScalarChain(r);
+       }},
   };
   for (Series& s : series) {
     // The Old* kernels mutate their output only; inputs stay shared.
@@ -380,15 +469,24 @@ void ReportProfile(const DataProfile& profile) {
     struct Variant {
       const char* name;
       size_t threads;
+      size_t batch_size;  // 0 = ExecOptions default (batched)
     };
-    const Variant variants[] = {
-        {"flat_t1", 1}, {"flat_t2", 2}, {"flat_hw", hw}};
+    // flat_t1/t2/hw run the default batched kernels; "tuple" and "batch"
+    // pin batch_size at one thread so their ratio isolates the vectorized
+    // kernels from the layout and parallelism wins.
+    const Variant variants[] = {{"flat_t1", 1, 0},
+                                {"flat_t2", 2, 0},
+                                {"flat_hw", hw, 0},
+                                {"tuple", 1, 1},
+                                {"batch", 1, 1024}};
     uint64_t t1_ns = 0;
+    uint64_t tuple_ns = 0;
     for (const Variant& v : variants) {
       size_t out_rows = 0;
-      uint64_t ns =
-          FlatWallNs(ctx, s.plan, db, registry, v.threads, &out_rows);
-      if (v.threads == 1) t1_ns = ns;
+      uint64_t ns = FlatWallNs(ctx, s.plan, db, registry, v.threads,
+                               v.batch_size, &out_rows);
+      if (v.threads == 1 && v.batch_size == 0) t1_ns = ns;
+      if (v.batch_size == 1) tuple_ns = ns;
       EmitRecord(profile.name, s.op, v.name, v.threads, op_rows_in, out_rows, ns);
       double speedup = ns > 0 ? static_cast<double>(s.old_ns) /
                                     static_cast<double>(ns)
@@ -405,6 +503,10 @@ void ReportProfile(const DataProfile& profile) {
       if (v.threads == 2 && t1_ns > 0 && ns > 0) {
         std::printf("%-14s %-14s %33.2fx vs flat_t1\n", "", "",
                     static_cast<double>(t1_ns) / static_cast<double>(ns));
+      }
+      if (v.batch_size == 1024 && tuple_ns > 0 && ns > 0) {
+        std::printf("%-14s %-14s %33.2fx vs tuple\n", "", "",
+                    static_cast<double>(tuple_ns) / static_cast<double>(ns));
       }
     }
     std::printf("\n");

@@ -3,7 +3,8 @@
 // timing runs, plus machine-readable emission of execution profiles.
 //
 // Record files (BENCH_exec.json, BENCH_obs.json, ...) are JSON Lines —
-// one object per line, appended across binaries and re-runs. Every record
+// one object per line, appended within a run; a re-run truncates each
+// file it writes so records never accumulate across runs. Every record
 // carries `schema` (kBenchSchemaVersion, bumped on layout changes) and a
 // `metrics` block (the process metrics-registry snapshot at emission
 // time), so records from different PRs stay machine-comparable.
@@ -14,6 +15,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <string>
 
 #include "src/exec/physical.h"
@@ -53,13 +55,19 @@ inline void ProfileToJson(const ExecProfile& p, std::string& out) {
 // Appends one JSON-Lines record to `file`, completing `fields` (the
 // record's own "key":value pairs, comma-separated, no braces) with the
 // shared schema-version field and the current metrics snapshot.
+//
+// The first write to a given file in this process truncates it, so
+// re-running a bench binary in the same directory replaces its records
+// instead of accumulating duplicates; later writes (same process) append.
 inline void AppendRecordLine(const std::string& file,
                              const std::string& fields) {
+  static std::set<std::string>* truncated = new std::set<std::string>();
   std::string line = "{\"schema\":" + std::to_string(kBenchSchemaVersion);
   line += "," + fields;
   line += ",\"metrics\":" + obs::MetricsRegistry::Instance().JsonSnapshot();
   line += "}\n";
-  std::ofstream out(file, std::ios::app);
+  const bool fresh = truncated->insert(file).second;
+  std::ofstream out(file, fresh ? std::ios::trunc : std::ios::app);
   out << line;
 }
 

@@ -9,10 +9,12 @@ divided by the same run's legacy_layout rows_per_sec for that (data, op).
 A series regresses when current_speedup / baseline_speedup falls below the
 threshold (0.7 = a >30% slowdown relative to the in-run legacy baseline).
 
-Only the single-threaded variants are gated (flat_layout, flat_t1) —
-multi-thread numbers on shared CI runners are too noisy to gate on, and
-flat_hw depends on the core count. The full delta table is always
-printed, gated or not.
+Only the single-threaded variants are gated (flat_layout, flat_t1, and
+the tuple/batch kernel pair) — multi-thread numbers on shared CI runners
+are too noisy to gate on, and flat_hw depends on the core count. When a
+file holds duplicate records for a series (appended re-runs), the latest
+record per (bench, data, op, variant, threads) wins. The full delta
+table is always printed, gated or not.
 
 With --obs BENCH_obs.json, the observability overhead verdicts from
 bench_obs_overhead are also gated: every record in that file carries a
@@ -33,13 +35,19 @@ import argparse
 import json
 import sys
 
-GATED_VARIANTS = ("flat_layout", "flat_t1")
+GATED_VARIANTS = ("flat_layout", "flat_t1", "tuple", "batch")
 BASELINE_VARIANT = "legacy_layout"
 
 
 def load_series(path):
-    """(data, op, variant) -> rows_per_sec for bench=flat_exec records."""
-    series = {}
+    """(data, op, variant) -> rows_per_sec for bench=flat_exec records.
+
+    Files may hold several records per series (a binary re-run that
+    appended before truncate-on-rerun landed, or deliberate repeat runs):
+    the *latest* record per (bench, data, op, variant, threads) wins, so
+    stale duplicates never shadow the current numbers.
+    """
+    latest = {}
     with open(path) as f:
         for line in f:
             line = line.strip()
@@ -48,8 +56,12 @@ def load_series(path):
             rec = json.loads(line)
             if rec.get("bench") != "flat_exec":
                 continue
-            key = (rec["data"], rec["op"], rec["variant"])
-            series[key] = float(rec["rows_per_sec"])
+            full_key = (rec["data"], rec["op"], rec["variant"],
+                        rec.get("threads"))
+            latest[full_key] = float(rec["rows_per_sec"])
+    series = {}
+    for (data, op, variant, _threads), rps in latest.items():
+        series[(data, op, variant)] = rps
     if not series:
         raise SystemExit(f"error: no flat_exec records in {path}")
     return series

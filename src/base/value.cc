@@ -5,11 +5,7 @@
 
 namespace emcalc {
 
-uint64_t Value::EncodeInt(int64_t v) {
-  uint64_t shifted = static_cast<uint64_t>(v) << 1;
-  // Round-trips iff v fits 63 bits; otherwise fall back to the pool so the
-  // full int64 range stays representable.
-  if ((static_cast<int64_t>(shifted) >> 1) == v) return shifted;
+uint64_t Value::EncodeBigInt(int64_t v) {
   return (StringPool::Global().InternBigInt(v) << 1) | 1;
 }
 

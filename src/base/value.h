@@ -67,7 +67,16 @@ class Value {
   uint64_t raw() const { return rep_; }
 
  private:
-  static uint64_t EncodeInt(int64_t v);
+  // Inline so int construction in batch loops is a shift and a branch that
+  // only big-int inputs take; the pool fallback stays out of line.
+  static uint64_t EncodeInt(int64_t v) {
+    uint64_t shifted = static_cast<uint64_t>(v) << 1;
+    // Round-trips iff v fits 63 bits; otherwise fall back to the pool so
+    // the full int64 range stays representable.
+    if ((static_cast<int64_t>(shifted) >> 1) == v) return shifted;
+    return EncodeBigInt(v);
+  }
+  static uint64_t EncodeBigInt(int64_t v);
   static uint64_t EncodeStr(std::string_view v);
   bool PooledIsStr() const;
 

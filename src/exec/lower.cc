@@ -141,6 +141,10 @@ class Lowerer {
         PhysicalOp* op = NewOp(PhysOpKind::kProjectMap, node->arity());
         op->exprs.assign(node->exprs().begin(), node->exprs().end());
         op->left = *in;
+        // Batch form compiled once here: constant folding, per-stage CSE,
+        // and function-pointer binding all happen at lowering time.
+        op->program = std::make_shared<const ScalarProgram>(
+            ScalarProgram::CompileProject(op->exprs, ctx_, plan_.fns_));
         return op;
       }
       case AlgKind::kSelect: {
@@ -150,6 +154,8 @@ class Lowerer {
         PhysicalOp* op = NewOp(PhysOpKind::kFilterSelect, node->arity());
         op->conds.assign(node->conds().begin(), node->conds().end());
         op->left = *in;
+        op->cond_program = std::make_shared<const ScalarProgram>(
+            ScalarProgram::CompileFilter(op->conds, ctx_, plan_.fns_));
         return op;
       }
       case AlgKind::kJoin:

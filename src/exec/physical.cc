@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <optional>
 
 #include "src/base/check.h"
 #include "src/base/thread_pool.h"
 #include "src/exec/join_table.h"
+#include "src/exec/scalar_program.h"
+#include "src/exec/selection.h"
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -35,8 +39,21 @@ struct TupleView {
 // every num_threads; buffers concatenated in morsel order plus a final
 // Normalize make parallel output bit-identical to sequential output.
 constexpr size_t kMorselGrain = 2048;
-// Inputs smaller than this run on the calling thread only.
+// Default parallel fan-out floor: inputs smaller than this run on the
+// calling thread only. Overridable per query via
+// ExecOptions::morsel_threshold or the EMCALC_MORSEL_THRESHOLD env knob.
 constexpr size_t kParallelThreshold = 4096;
+
+size_t EffectiveMorselThreshold(const ExecOptions& opt) {
+  if (opt.morsel_threshold != 0) return opt.morsel_threshold;
+  if (const char* env = std::getenv("EMCALC_MORSEL_THRESHOLD");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<size_t>(v);
+  }
+  return kParallelThreshold;
+}
 // Hash partitions of the parallel join build (top bits of the key hash).
 constexpr size_t kJoinPartitionBits = 6;
 constexpr size_t kJoinPartitions = size_t{1} << kJoinPartitionBits;
@@ -111,7 +128,8 @@ struct ExecContext {
   const Database& db;
   std::vector<OpStats> stats;
   std::vector<std::optional<RelationPtr>> memo;
-  size_t threads;  // effective worker cap, >= 1
+  size_t threads;           // effective worker cap, >= 1
+  size_t morsel_threshold;  // minimum input rows before fanning out
   // Memory attribution and limits for this execution. The governor is
   // checked at operator entry, morsel boundaries, and closure rounds.
   obs::QueryMemory qmem;
@@ -123,6 +141,7 @@ struct ExecContext {
         memo(static_cast<size_t>(p.num_memo_slots_)),
         threads(p.options_.num_threads == 0 ? ThreadPool::HardwareThreads()
                                             : p.options_.num_threads),
+        morsel_threshold(EffectiveMorselThreshold(p.options_)),
         qmem(p.ops_.size()),
         governor(obs::EffectiveLimits(p.options_.limits), &qmem, NowNs()),
         est(p.ops_.size(), -1.0) {}
@@ -144,7 +163,7 @@ struct ExecContext {
   StatusOr<Value_> Run(const PhysicalOp* op);
 
   bool Parallel(size_t n) const {
-    return threads > 1 && n >= kParallelThreshold;
+    return threads > 1 && n >= morsel_threshold;
   }
 
   // Folds worker-sharded counters into the operator's stats slot. Every
@@ -156,6 +175,9 @@ struct ExecContext {
       s.tuple_copies += w.tuple_copies;
       s.build_rows += w.build_rows;
       s.hash_probes += w.hash_probes;
+      s.batches += w.batches;
+      s.batch_rows += w.batch_rows;
+      s.batch_sel_rows += w.batch_sel_rows;
     }
   }
 
@@ -184,6 +206,17 @@ struct ExecContext {
 
   StatusOr<Value_> RunHashJoin(const PhysicalOp* op, const Value_& l,
                                const Value_& r, OpStats& s);
+
+  // Batch kernels (ExecOptions::batch_size > 1): run the compiled scalar
+  // programs over column slices of the input's flat buffer. `filter` is
+  // non-null when a FilterSelect child is fused into the ProjectMap — its
+  // surviving rows flow to the projection as selection indices, never
+  // materialized.
+  StatusOr<Value_> RunBatchProject(const PhysicalOp* op,
+                                   const PhysicalOp* filter, const Value_& in,
+                                   OpStats& s);
+  StatusOr<Value_> RunBatchFilter(const PhysicalOp* op, const Value_& in,
+                                  OpStats& s);
 };
 
 Value ExecContext::EvalExpr(const ScalarExpr* e, const TupleView& view,
@@ -467,6 +500,198 @@ StatusOr<ExecContext::Value_> ExecContext::RunHashJoin(const PhysicalOp* op,
   return Value_{out, out};
 }
 
+// Vectorized ProjectMap: the compiled program runs over dense batches of
+// the input's flat buffer (batch boundaries clipped to morsel boundaries,
+// so sequential and parallel executions count identical batches). With a
+// fused FilterSelect child, each batch is first refined to a selection
+// vector and the projection evaluates only the surviving lanes — the
+// filter's output relation is never materialized.
+StatusOr<ExecContext::Value_> ExecContext::RunBatchProject(
+    const PhysicalOp* op, const PhysicalOp* filter, const Value_& in,
+    OpStats& s) {
+  const Relation& in_rel = *in.rel;
+  const size_t n = in_rel.size();  // normalizes before slicing
+  const int in_arity = in_rel.arity();
+  const Value* data = in_rel.data();
+  const ScalarProgram& proj = *op->program;
+  const ScalarProgram* cond =
+      filter != nullptr ? filter->cond_program.get() : nullptr;
+  OpStats* fstats =
+      filter != nullptr ? &stats[static_cast<size_t>(filter->id)] : nullptr;
+  if (fstats != nullptr) ++fstats->invocations;
+  const size_t bsz =
+      std::min(plan.options_.batch_size, std::max<size_t>(n, 1));
+  auto out = std::make_shared<Relation>(op->arity);
+  out->Reserve(n);
+  uint64_t survivors = 0;
+  if (Parallel(n)) {
+    const size_t num_morsels = (n + kMorselGrain - 1) / kMorselGrain;
+    std::vector<Relation> bufs;
+    bufs.reserve(num_morsels);
+    for (size_t i = 0; i < num_morsels; ++i) bufs.emplace_back(op->arity);
+    std::vector<OpStats> shards(threads);
+    std::vector<OpStats> fshards(cond != nullptr ? threads : 0);
+    std::vector<BatchScratch> pscratch(threads);
+    std::vector<BatchScratch> fscratch(cond != nullptr ? threads : 0);
+    ParFold par(s);
+    ThreadPool::Global().ParallelFor(
+        n, kMorselGrain, threads,
+        [&](size_t worker, size_t begin, size_t end) {
+          if (governor.Check()) return;
+          OpStats& ws = shards[worker];
+          Relation& buf = bufs[begin / kMorselGrain];
+          BatchScratch& ps = pscratch[worker];
+          ps.Prepare(proj, bsz, proj.num_outputs());
+          if (cond != nullptr) fscratch[worker].Prepare(*cond, bsz, 0);
+          for (size_t b = begin; b < end; b += bsz) {
+            const auto count = static_cast<uint32_t>(std::min(bsz, end - b));
+            Selection sel =
+                Selection::Dense(static_cast<uint32_t>(b), count);
+            if (cond != nullptr) {
+              OpStats& wf = fshards[worker];
+              sel = cond->RunFilter(data, in_arity, sel, fscratch[worker],
+                                    &wf.function_calls);
+              ++wf.batches;
+              wf.batch_rows += count;
+              wf.batch_sel_rows += sel.size();
+            }
+            const Value* rows =
+                proj.RunProject(data, in_arity, sel, ps, &ws.function_calls);
+            buf.AppendRows(rows, sel.size());
+            ++ws.batches;
+            ws.batch_rows += count;
+            ws.batch_sel_rows += sel.size();
+          }
+        },
+        &par.rs);
+    for (const Relation& buf : bufs) out->AppendAll(buf);
+    if (fstats != nullptr) {
+      for (const OpStats& w : fshards) survivors += w.batch_sel_rows;
+      MergeShards(*fstats, fshards);
+    }
+    MergeShards(s, shards);
+  } else {
+    BatchScratch ps;
+    ps.Prepare(proj, bsz, proj.num_outputs());
+    BatchScratch fs;
+    if (cond != nullptr) fs.Prepare(*cond, bsz, 0);
+    for (size_t m = 0; m < n; m += kMorselGrain) {
+      if (governor.Check()) break;
+      const size_t end = std::min(n, m + kMorselGrain);
+      for (size_t b = m; b < end; b += bsz) {
+        const auto count = static_cast<uint32_t>(std::min(bsz, end - b));
+        Selection sel = Selection::Dense(static_cast<uint32_t>(b), count);
+        if (cond != nullptr) {
+          sel = cond->RunFilter(data, in_arity, sel, fs,
+                                &fstats->function_calls);
+          ++fstats->batches;
+          fstats->batch_rows += count;
+          fstats->batch_sel_rows += sel.size();
+          survivors += sel.size();
+        }
+        const Value* rows =
+            proj.RunProject(data, in_arity, sel, ps, &s.function_calls);
+        out->AppendRows(rows, sel.size());
+        ++s.batches;
+        s.batch_rows += count;
+        s.batch_sel_rows += sel.size();
+      }
+    }
+  }
+  out->Normalize();
+  // In fused form this operator logically consumes the filter's output,
+  // so row accounting matches the unfused (and legacy) plans exactly.
+  s.rows_in += cond != nullptr ? survivors : n;
+  s.rows_out += out->size();
+  if (fstats != nullptr) {
+    fstats->rows_in += n;
+    fstats->rows_out += survivors;
+  }
+  return Value_{out, out};
+}
+
+// Vectorized FilterSelect: staged condition programs refine a selection
+// vector per batch, then the surviving rows are gathered into the scratch
+// staging area and appended in bulk.
+StatusOr<ExecContext::Value_> ExecContext::RunBatchFilter(
+    const PhysicalOp* op, const Value_& in, OpStats& s) {
+  const Relation& in_rel = *in.rel;
+  const size_t n = in_rel.size();
+  const int in_arity = in_rel.arity();
+  const auto width = static_cast<size_t>(in_arity);
+  const Value* data = in_rel.data();
+  const ScalarProgram& cond = *op->cond_program;
+  const size_t bsz =
+      std::min(plan.options_.batch_size, std::max<size_t>(n, 1));
+  auto out = std::make_shared<Relation>(op->arity);
+  auto gather = [&](Selection sel, BatchScratch& sc, Relation& buf,
+                    OpStats& ws) {
+    Value* staging = sc.row_staging();
+    if (width > 0) {
+      for (uint32_t i = 0; i < sel.size(); ++i) {
+        std::memcpy(staging + i * width,
+                    data + static_cast<size_t>(sel[i]) * width,
+                    width * sizeof(Value));
+      }
+    }
+    buf.AppendRows(staging, sel.size());
+    ws.tuple_copies += sel.size();
+  };
+  if (Parallel(n)) {
+    const size_t num_morsels = (n + kMorselGrain - 1) / kMorselGrain;
+    std::vector<Relation> bufs;
+    bufs.reserve(num_morsels);
+    for (size_t i = 0; i < num_morsels; ++i) bufs.emplace_back(op->arity);
+    std::vector<OpStats> shards(threads);
+    std::vector<BatchScratch> scratch(threads);
+    ParFold par(s);
+    ThreadPool::Global().ParallelFor(
+        n, kMorselGrain, threads,
+        [&](size_t worker, size_t begin, size_t end) {
+          if (governor.Check()) return;
+          OpStats& ws = shards[worker];
+          Relation& buf = bufs[begin / kMorselGrain];
+          BatchScratch& sc = scratch[worker];
+          sc.Prepare(cond, bsz, width);
+          for (size_t b = begin; b < end; b += bsz) {
+            const auto count = static_cast<uint32_t>(std::min(bsz, end - b));
+            Selection sel = cond.RunFilter(
+                data, in_arity,
+                Selection::Dense(static_cast<uint32_t>(b), count), sc,
+                &ws.function_calls);
+            gather(sel, sc, buf, ws);
+            ++ws.batches;
+            ws.batch_rows += count;
+            ws.batch_sel_rows += sel.size();
+          }
+        },
+        &par.rs);
+    for (const Relation& buf : bufs) out->AppendAll(buf);
+    MergeShards(s, shards);
+  } else {
+    BatchScratch sc;
+    sc.Prepare(cond, bsz, width);
+    for (size_t m = 0; m < n; m += kMorselGrain) {
+      if (governor.Check()) break;
+      const size_t end = std::min(n, m + kMorselGrain);
+      for (size_t b = m; b < end; b += bsz) {
+        const auto count = static_cast<uint32_t>(std::min(bsz, end - b));
+        Selection sel = cond.RunFilter(
+            data, in_arity, Selection::Dense(static_cast<uint32_t>(b), count),
+            sc, &s.function_calls);
+        gather(sel, sc, *out, s);
+        ++s.batches;
+        s.batch_rows += count;
+        s.batch_sel_rows += sel.size();
+      }
+    }
+  }
+  out->Normalize();
+  s.rows_in += n;
+  s.rows_out += out->size();
+  return Value_{out, out};
+}
+
 StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
   // One trace span per operator invocation: nested operator spans render
   // as the plan's flame graph next to the compile-phase spans.
@@ -503,8 +728,25 @@ StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
       return finish(Value_{RelationPtr(RelationPtr(), rel), nullptr});
     }
     case PhysOpKind::kProjectMap: {
-      auto in = Run(op->left);
+      const bool batch =
+          plan.options_.batch_size > 1 && op->program != nullptr;
+      const PhysicalOp* fused = nullptr;
+      const PhysicalOp* source = op->left;
+      if (batch && op->left->kind == PhysOpKind::kFilterSelect &&
+          op->left->cond_program != nullptr) {
+        // Fuse the child FilterSelect: shared subplans always sit behind a
+        // Materialize, so this filter has no other consumer and its result
+        // can stay a selection vector.
+        fused = op->left;
+        source = fused->left;
+      }
+      auto in = Run(source);
       if (!in.ok()) return done(in.status());
+      if (batch) {
+        auto v = RunBatchProject(op, fused, *in, s);
+        if (!v.ok()) return done(v.status());
+        return finish(std::move(*v));
+      }
       const Relation& in_rel = *in->rel;
       const size_t n = in_rel.size();  // normalizes before the region
       auto out = std::make_shared<Relation>(op->arity);
@@ -554,6 +796,11 @@ StatusOr<ExecContext::Value_> ExecContext::Run(const PhysicalOp* op) {
     case PhysOpKind::kFilterSelect: {
       auto in = Run(op->left);
       if (!in.ok()) return done(in.status());
+      if (plan.options_.batch_size > 1 && op->cond_program != nullptr) {
+        auto v = RunBatchFilter(op, *in, s);
+        if (!v.ok()) return done(v.status());
+        return finish(std::move(*v));
+      }
       const Relation& in_rel = *in->rel;
       const size_t n = in_rel.size();
       auto out = std::make_shared<Relation>(op->arity);
@@ -779,6 +1026,23 @@ void RenderProfile(const ExecProfile& p, int depth, std::string& out) {
   if (p.stats.tuple_copies > 0) {
     out += " copies=" + std::to_string(p.stats.tuple_copies);
   }
+  if (p.stats.batches > 0) {
+    // Batch-kernel telemetry: mean rows entering each batch and the share
+    // of those rows surviving the batch's selection vector.
+    double rows_per_batch = static_cast<double>(p.stats.batch_rows) /
+                            static_cast<double>(p.stats.batches);
+    double density =
+        p.stats.batch_rows > 0
+            ? 100.0 * static_cast<double>(p.stats.batch_sel_rows) /
+                  static_cast<double>(p.stats.batch_rows)
+            : 0;
+    char batch_buf[80];
+    std::snprintf(batch_buf, sizeof(batch_buf),
+                  " batches=%llu rows/batch=%.0f sel_density=%.0f%%",
+                  static_cast<unsigned long long>(p.stats.batches),
+                  rows_per_batch, density);
+    out += batch_buf;
+  }
   if (p.op == PhysOpKind::kMaterialize) {
     out += " cache_hits=" + std::to_string(p.stats.cache_hits);
   }
@@ -874,6 +1138,9 @@ void ProfileJson(const ExecProfile& p, std::string& out) {
   out += ",\"par_busy_ns\":" + std::to_string(s.par_busy_ns);
   out += ",\"par_morsels\":" + std::to_string(s.par_morsels);
   out += ",\"par_workers\":" + std::to_string(s.par_workers);
+  out += ",\"batches\":" + std::to_string(s.batches);
+  out += ",\"batch_rows\":" + std::to_string(s.batch_rows);
+  out += ",\"batch_sel_rows\":" + std::to_string(s.batch_sel_rows);
   out += "}";
   if (p.total_peak_bytes != 0 || p.total_bytes_allocated != 0) {
     out += ",\"total_peak_bytes\":" + std::to_string(p.total_peak_bytes);
@@ -931,6 +1198,10 @@ StatusOr<ExecProfile> ProfileFromJsonValue(const obs::JsonValue& v) {
     s.par_busy_ns = static_cast<uint64_t>(st->NumberOr("par_busy_ns", 0));
     s.par_morsels = static_cast<uint64_t>(st->NumberOr("par_morsels", 0));
     s.par_workers = static_cast<uint32_t>(st->NumberOr("par_workers", 0));
+    s.batches = static_cast<uint64_t>(st->NumberOr("batches", 0));
+    s.batch_rows = static_cast<uint64_t>(st->NumberOr("batch_rows", 0));
+    s.batch_sel_rows =
+        static_cast<uint64_t>(st->NumberOr("batch_sel_rows", 0));
   }
   p.total_peak_bytes =
       static_cast<int64_t>(v.NumberOr("total_peak_bytes", 0));

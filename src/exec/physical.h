@@ -31,6 +31,7 @@
 
 #include "src/algebra/ast.h"
 #include "src/base/status.h"
+#include "src/exec/scalar_program.h"
 #include "src/obs/resource.h"
 #include "src/storage/database.h"
 #include "src/storage/interpretation.h"
@@ -84,6 +85,11 @@ struct OpStats {
   uint64_t par_busy_ns = 0;    // summed per-thread drain time
   uint64_t par_morsels = 0;    // morsels claimed
   uint32_t par_workers = 0;    // most threads that did work in one region
+  // Batch-kernel telemetry (ProjectMap / FilterSelect with batch_size > 1);
+  // all zero on the tuple-at-a-time path.
+  uint64_t batches = 0;         // batches executed
+  uint64_t batch_rows = 0;      // rows entering batches (rows/batch basis)
+  uint64_t batch_sel_rows = 0;  // rows surviving the batch's selection
 };
 
 // Parallel-region telemetry aggregated over a whole profile tree, for the
@@ -157,6 +163,17 @@ struct ExecOptions {
   // bit-identical across thread counts. Scalar functions must be pure
   // (thread-safe) — every registry builtin is.
   size_t num_threads = 0;
+  // Rows per execution batch for the vectorized ProjectMap / FilterSelect
+  // kernels (compiled scalar programs over column slices, see
+  // src/exec/scalar_program.h). 1 selects the tuple-at-a-time
+  // interpreter, kept as a differential oracle; output is bit-identical
+  // across batch sizes.
+  size_t batch_size = 1024;
+  // Minimum input rows before a morsel-parallel operator fans out to the
+  // thread pool. 0 defers to the EMCALC_MORSEL_THRESHOLD env knob, and
+  // absent that to the built-in default (4096); an explicit field wins
+  // over the env.
+  size_t morsel_threshold = 0;
   // Per-query resource ceilings (0 = unlimited), merged with the
   // EMCALC_MAX_QUERY_BYTES / EMCALC_MAX_QUERY_MS env knobs at execution
   // (an explicit field here wins). A tripped limit aborts the execution
@@ -184,6 +201,13 @@ struct PhysicalOp {
   // kFilterSelect / join residuals: conditions over the (concatenated)
   // schema.
   std::vector<AlgCondition> conds;
+  // Batch forms compiled at lowering time (see src/exec/scalar_program.h):
+  // `program` for kProjectMap's expression list, `cond_program` for
+  // kFilterSelect's conditions. Shared so a fused FilterSelect→ProjectMap
+  // pair and the plan can reference them without ownership games; null
+  // when the op has no batch form.
+  std::shared_ptr<const ScalarProgram> program;
+  std::shared_ptr<const ScalarProgram> cond_program;
   // kHashJoin: equi-key pairs; left_key evaluates over the left tuple,
   // right_key over the concatenated schema with an empty left part.
   struct KeyPair {

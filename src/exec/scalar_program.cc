@@ -1,0 +1,411 @@
+#include "src/exec/scalar_program.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "src/base/check.h"
+#include "src/base/string_pool.h"
+
+namespace emcalc {
+namespace {
+
+// Registers per instruction argument list handled without heap traffic;
+// wider applications (none among the builtins) fall back to a per-batch
+// vector.
+constexpr size_t kMaxInlineFnArgs = 8;
+
+// Gathers one input column into a register: a strided sequential loop for
+// dense batches, an index gather for filtered ones.
+void LoadColumn(const Value* input, size_t arity, size_t col, Selection sel,
+                Value* dst) {
+  const uint32_t n = sel.size();
+  if (sel.dense()) {
+    const Value* src = input + static_cast<size_t>(sel.first()) * arity + col;
+    for (uint32_t i = 0; i < n; ++i) {
+      dst[i] = src[static_cast<size_t>(i) * arity];
+    }
+  } else {
+    const uint32_t* idx = sel.indices();
+    for (uint32_t i = 0; i < n; ++i) {
+      dst[i] = input[static_cast<size_t>(idx[i]) * arity + col];
+    }
+  }
+}
+
+// Per-lane order keys for kLt/kLe over mixed columns: a class byte (ints
+// order before strings) and a word key that orders exactly like Value's
+// total order except on string prefix ties. Int keys are sign-flipped so
+// unsigned word compares match signed value compares; string keys are the
+// pool's big-endian order_prefix. One pool gather per batch side replaces
+// per-comparison pool lookups in the tuple path.
+void GatherOrderKeys(const Value* v, uint32_t n, uint8_t* cls,
+                     uint64_t* key) {
+  const StringPool& pool = StringPool::Global();
+  constexpr uint64_t kSignFlip = uint64_t{1} << 63;
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t raw = v[i].raw();
+    if ((raw & 1) == 0) {
+      cls[i] = 0;
+      key[i] =
+          static_cast<uint64_t>(static_cast<int64_t>(raw) >> 1) ^ kSignFlip;
+    } else {
+      const StringPool::Entry& e = pool.Get(raw >> 1);
+      if (e.is_str) {
+        cls[i] = 1;
+        key[i] = e.order_prefix;
+      } else {
+        cls[i] = 0;
+        key[i] = static_cast<uint64_t>(e.num) ^ kSignFlip;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void BatchScratch::Prepare(const ScalarProgram& prog, size_t batch_size,
+                           size_t row_width) {
+  batch_size_ = std::max(batch_size_, batch_size);
+  const size_t regs =
+      static_cast<size_t>(prog.num_regs_) * batch_size_;
+  if (regs_.size() < regs) regs_.resize(regs);
+  const size_t rows = row_width * batch_size_;
+  if (rows_.size() < rows) rows_.resize(rows);
+  if (prog.has_cmp_stage_ && sel_.size() < batch_size_) {
+    sel_.resize(batch_size_);
+  }
+  if (prog.needs_order_keys_) {
+    if (keys_.size() < 2 * batch_size_) keys_.resize(2 * batch_size_);
+    if (cls_.size() < 2 * batch_size_) cls_.resize(2 * batch_size_);
+  }
+  // Manual sizing, so manual charging: the whole scratch is attributed to
+  // the calling thread's active MemoryScope (the owning operator).
+  charge_.Update(static_cast<int64_t>(
+      regs_.capacity() * sizeof(Value) + rows_.capacity() * sizeof(Value) +
+      sel_.capacity() * sizeof(uint32_t) +
+      keys_.capacity() * sizeof(uint64_t) +
+      cls_.capacity() * sizeof(uint8_t)));
+}
+
+size_t ScalarProgram::ScratchBytes(size_t batch_size,
+                                   size_t row_width) const {
+  size_t bytes =
+      (static_cast<size_t>(num_regs_) + row_width) * batch_size *
+      sizeof(Value);
+  if (has_cmp_stage_) bytes += batch_size * sizeof(uint32_t);
+  if (needs_order_keys_) {
+    bytes += 2 * batch_size * (sizeof(uint64_t) + sizeof(uint8_t));
+  }
+  return bytes;
+}
+
+// Value-numbering compiler: one register per structurally distinct subtree
+// within a stage, all-constant applications folded at compile time.
+class ScalarProgram::Builder {
+ public:
+  Builder(ScalarProgram* prog, const AstContext& ctx,
+          const std::unordered_map<Symbol, const ScalarFunction*>& fns)
+      : prog_(prog), ctx_(ctx), fns_(fns) {}
+
+  // Registers computed by earlier stages cover lanes the current (smaller)
+  // selection may not align with, so value numbers reset per stage; only
+  // the constant-ness of a register carries across.
+  void BeginStage() {
+    prog_->stages_.emplace_back();
+    numbers_.clear();
+  }
+
+  uint16_t Emit(const ScalarExpr* e) {
+    switch (e->kind()) {
+      case ScalarExpr::Kind::kCol: {
+        std::string key = "c" + std::to_string(e->col());
+        if (auto it = numbers_.find(key); it != numbers_.end()) {
+          return it->second;
+        }
+        uint16_t r = NewReg();
+        Insn insn;
+        insn.op = Insn::Op::kLoadCol;
+        insn.dst = r;
+        insn.col = e->col();
+        stage().insns.push_back(std::move(insn));
+        numbers_.emplace(std::move(key), r);
+        return r;
+      }
+      case ScalarExpr::Kind::kConst:
+        return EmitConst(ctx_.ConstantAt(e->const_id()));
+      case ScalarExpr::Kind::kApply: {
+        std::vector<uint16_t> args;
+        args.reserve(e->args().size());
+        bool all_const = true;
+        for (const ScalarExpr* a : e->args()) {
+          uint16_t r = Emit(a);
+          all_const = all_const && const_regs_.count(r) > 0;
+          args.push_back(r);
+        }
+        auto fit = fns_.find(e->fn());
+        EMCALC_CHECK(fit != fns_.end());  // bound before compilation
+        const ScalarFunction* fn = fit->second;
+        if (all_const) {
+          // Registry functions are pure and total, so an all-constant
+          // application has one value for every lane: run it once now.
+          std::vector<Value> argv;
+          argv.reserve(args.size());
+          for (uint16_t r : args) argv.push_back(const_regs_.at(r));
+          return EmitConst(fn->fn(argv));
+        }
+        std::string key =
+            "a" + std::to_string(reinterpret_cast<uintptr_t>(fn));
+        for (uint16_t r : args) key += ":" + std::to_string(r);
+        if (auto it = numbers_.find(key); it != numbers_.end()) {
+          return it->second;
+        }
+        uint16_t r = NewReg();
+        Insn insn;
+        insn.op = Insn::Op::kCall;
+        insn.dst = r;
+        insn.fn = fn;
+        insn.args = std::move(args);
+        stage().insns.push_back(std::move(insn));
+        numbers_.emplace(std::move(key), r);
+        return r;
+      }
+    }
+    return 0;  // unreachable: the switch covers every kind
+  }
+
+ private:
+  Stage& stage() { return prog_->stages_.back(); }
+
+  uint16_t EmitConst(const Value& v) {
+    std::string key = "k" + std::to_string(v.raw());
+    if (auto it = numbers_.find(key); it != numbers_.end()) {
+      return it->second;
+    }
+    uint16_t r = NewReg();
+    Insn insn;
+    insn.op = Insn::Op::kConst;
+    insn.dst = r;
+    insn.constant = v;
+    stage().insns.push_back(std::move(insn));
+    numbers_.emplace(std::move(key), r);
+    const_regs_.emplace(r, v);
+    return r;
+  }
+
+  uint16_t NewReg() {
+    EMCALC_CHECK_MSG(prog_->num_regs_ < 0xffff,
+                     "scalar program exceeds 65534 registers");
+    return static_cast<uint16_t>(prog_->num_regs_++);
+  }
+
+  ScalarProgram* prog_;
+  const AstContext& ctx_;
+  const std::unordered_map<Symbol, const ScalarFunction*>& fns_;
+  std::unordered_map<std::string, uint16_t> numbers_;  // per-stage CSE
+  std::unordered_map<uint16_t, Value> const_regs_;     // for folding
+};
+
+ScalarProgram ScalarProgram::CompileProject(
+    std::span<const ScalarExpr* const> exprs, const AstContext& ctx,
+    const std::unordered_map<Symbol, const ScalarFunction*>& fns) {
+  ScalarProgram prog;
+  Builder builder(&prog, ctx, fns);
+  builder.BeginStage();
+  prog.outputs_.reserve(exprs.size());
+  for (const ScalarExpr* e : exprs) {
+    prog.outputs_.push_back(builder.Emit(e));
+  }
+  return prog;
+}
+
+ScalarProgram ScalarProgram::CompileFilter(
+    std::span<const AlgCondition> conds, const AstContext& ctx,
+    const std::unordered_map<Symbol, const ScalarFunction*>& fns) {
+  ScalarProgram prog;
+  Builder builder(&prog, ctx, fns);
+  for (const AlgCondition& c : conds) {
+    builder.BeginStage();
+    uint16_t lhs = builder.Emit(c.lhs);
+    uint16_t rhs = builder.Emit(c.rhs);
+    Stage& stage = prog.stages_.back();
+    stage.has_cmp = true;
+    stage.cmp = c.op;
+    stage.lhs = lhs;
+    stage.rhs = rhs;
+    prog.has_cmp_stage_ = true;
+    if (c.op == AlgCompareOp::kLt || c.op == AlgCompareOp::kLe) {
+      prog.needs_order_keys_ = true;
+    }
+  }
+  return prog;
+}
+
+void ScalarProgram::RunInsns(const Stage& stage, const Value* input,
+                             int arity, Selection sel, BatchScratch& scratch,
+                             uint64_t* fn_calls) const {
+  const uint32_t n = sel.size();
+  const size_t stride = scratch.batch_size_;
+  Value* regs = scratch.regs_.data();
+  for (const Insn& insn : stage.insns) {
+    Value* dst = regs + static_cast<size_t>(insn.dst) * stride;
+    switch (insn.op) {
+      case Insn::Op::kLoadCol:
+        LoadColumn(input, static_cast<size_t>(arity),
+                   static_cast<size_t>(insn.col), sel, dst);
+        break;
+      case Insn::Op::kConst:
+        for (uint32_t i = 0; i < n; ++i) dst[i] = insn.constant;
+        break;
+      case Insn::Op::kCall: {
+        const size_t nargs = insn.args.size();
+        *fn_calls += n;  // one application per lane, as the tuple path
+        if (insn.fn->batch && nargs <= kMaxInlineFnArgs) {
+          std::span<const Value> arg_spans[kMaxInlineFnArgs];
+          for (size_t j = 0; j < nargs; ++j) {
+            arg_spans[j] = std::span<const Value>(
+                regs + static_cast<size_t>(insn.args[j]) * stride, n);
+          }
+          insn.fn->batch(
+              std::span<const std::span<const Value>>(arg_spans, nargs),
+              std::span<Value>(dst, n));
+          break;
+        }
+        // Scalar fallback: still no per-row heap traffic — the argument
+        // row lives on the stack (or in one per-batch buffer when wide).
+        if (nargs <= kMaxInlineFnArgs) {
+          Value argv[kMaxInlineFnArgs];
+          for (uint32_t i = 0; i < n; ++i) {
+            for (size_t j = 0; j < nargs; ++j) {
+              argv[j] = regs[static_cast<size_t>(insn.args[j]) * stride + i];
+            }
+            dst[i] = insn.fn->fn(std::span<const Value>(argv, nargs));
+          }
+        } else {
+          std::vector<Value> argv(nargs);
+          for (uint32_t i = 0; i < n; ++i) {
+            for (size_t j = 0; j < nargs; ++j) {
+              argv[j] = regs[static_cast<size_t>(insn.args[j]) * stride + i];
+            }
+            dst[i] = insn.fn->fn(argv);
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+Selection ScalarProgram::RunFilter(const Value* input, int arity,
+                                   Selection sel, BatchScratch& scratch,
+                                   uint64_t* fn_calls) const {
+  const size_t stride = scratch.batch_size_;
+  for (const Stage& stage : stages_) {
+    if (sel.empty()) break;
+    RunInsns(stage, input, arity, sel, scratch, fn_calls);
+    if (!stage.has_cmp) continue;
+    const Value* l = scratch.regs_.data() +
+                     static_cast<size_t>(stage.lhs) * stride;
+    const Value* r = scratch.regs_.data() +
+                     static_cast<size_t>(stage.rhs) * stride;
+    // Survivors compact in place: writes trail reads, so refining an
+    // already-sparse selection backed by the same array is safe.
+    uint32_t* out = scratch.sel_.data();
+    const uint32_t n = sel.size();
+    uint32_t kept = 0;
+    switch (stage.cmp) {
+      case AlgCompareOp::kEq:
+        // Value equality is word equality: branchless append.
+        for (uint32_t i = 0; i < n; ++i) {
+          out[kept] = sel[i];
+          kept += static_cast<uint32_t>(l[i].raw() == r[i].raw());
+        }
+        break;
+      case AlgCompareOp::kNe:
+        for (uint32_t i = 0; i < n; ++i) {
+          out[kept] = sel[i];
+          kept += static_cast<uint32_t>(l[i].raw() != r[i].raw());
+        }
+        break;
+      case AlgCompareOp::kLt:
+      case AlgCompareOp::kLe: {
+        const bool le = stage.cmp == AlgCompareOp::kLe;
+        // One OR pass detects the all-inline-int batch; its compare loop
+        // works on raw words (the inline encoding is order-preserving).
+        uint64_t tag_or = 0;
+        for (uint32_t i = 0; i < n; ++i) tag_or |= l[i].raw() | r[i].raw();
+        if ((tag_or & 1) == 0) {
+          if (le) {
+            for (uint32_t i = 0; i < n; ++i) {
+              out[kept] = sel[i];
+              kept += static_cast<uint32_t>(
+                  static_cast<int64_t>(l[i].raw()) <=
+                  static_cast<int64_t>(r[i].raw()));
+            }
+          } else {
+            for (uint32_t i = 0; i < n; ++i) {
+              out[kept] = sel[i];
+              kept += static_cast<uint32_t>(
+                  static_cast<int64_t>(l[i].raw()) <
+                  static_cast<int64_t>(r[i].raw()));
+            }
+          }
+          break;
+        }
+        // Mixed batch: gather order keys once per side, then compare
+        // words; a full string compare only settles prefix ties.
+        uint8_t* lcls = scratch.cls_.data();
+        uint8_t* rcls = lcls + scratch.batch_size_;
+        uint64_t* lkey = scratch.keys_.data();
+        uint64_t* rkey = lkey + scratch.batch_size_;
+        GatherOrderKeys(l, n, lcls, lkey);
+        GatherOrderKeys(r, n, rcls, rkey);
+        for (uint32_t i = 0; i < n; ++i) {
+          bool keep;
+          if (lcls[i] != rcls[i]) {
+            keep = lcls[i] < rcls[i];  // ints before strings
+          } else if (lkey[i] != rkey[i]) {
+            keep = lkey[i] < rkey[i];
+          } else if (l[i].raw() == r[i].raw()) {
+            keep = le;  // identical values
+          } else if (lcls[i] == 1) {
+            // Distinct strings sharing an 8-byte prefix.
+            keep = le ? !(r[i] < l[i]) : l[i] < r[i];
+          } else {
+            keep = le;  // equal ints always share one encoding
+          }
+          out[kept] = sel[i];
+          kept += keep ? 1u : 0u;
+        }
+        break;
+      }
+    }
+    sel = Selection::Sparse(out, kept);
+  }
+  return sel;
+}
+
+const Value* ScalarProgram::RunProject(const Value* input, int arity,
+                                       Selection sel, BatchScratch& scratch,
+                                       uint64_t* fn_calls) const {
+  if (!stages_.empty()) {
+    RunInsns(stages_.front(), input, arity, sel, scratch, fn_calls);
+  }
+  // Transpose the output registers row-major into the staging area, ready
+  // for a bulk append into the arity-strided relation buffer.
+  const uint32_t n = sel.size();
+  const size_t width = outputs_.size();
+  const size_t stride = scratch.batch_size_;
+  Value* rows = scratch.rows_.data();
+  for (size_t j = 0; j < width; ++j) {
+    const Value* col = scratch.regs_.data() +
+                       static_cast<size_t>(outputs_[j]) * stride;
+    Value* dst = rows + j;
+    for (uint32_t i = 0; i < n; ++i) {
+      dst[static_cast<size_t>(i) * width] = col[i];
+    }
+  }
+  return rows;
+}
+
+}  // namespace emcalc

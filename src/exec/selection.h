@@ -1,0 +1,57 @@
+// Selection vectors: the active-row set of one execution batch.
+//
+// The batch kernels (src/exec/scalar_program.h) evaluate compiled scalar
+// programs over column slices of a FlatRelation's arity-strided buffer. A
+// Selection names which rows of that buffer a batch covers: either a dense
+// run [first, first+size) — a fresh batch straight off the input — or an
+// explicit ascending index array produced by a filter stage. Indexes are
+// absolute row numbers into the operator's input relation, so a
+// FilterSelect can hand its surviving rows to a consuming ProjectMap as
+// indices instead of materializing the intermediate relation.
+//
+// A Selection is a borrowed view (two words): index storage is owned by
+// the BatchScratch that produced it and must outlive the view.
+#ifndef EMCALC_EXEC_SELECTION_H_
+#define EMCALC_EXEC_SELECTION_H_
+
+#include <cstdint>
+
+namespace emcalc {
+
+class Selection {
+ public:
+  // The dense run [first, first+count).
+  static Selection Dense(uint32_t first, uint32_t count) {
+    return Selection(nullptr, first, count);
+  }
+  // An explicit index array, ascending, no duplicates. `idx` is borrowed.
+  static Selection Sparse(const uint32_t* idx, uint32_t count) {
+    return Selection(idx, 0, count);
+  }
+
+  bool dense() const { return idx_ == nullptr; }
+  uint32_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // The absolute input row of lane `i`, i < size().
+  uint32_t operator[](uint32_t i) const {
+    return idx_ == nullptr ? first_ + i : idx_[i];
+  }
+
+  // Sparse form only; null when dense.
+  const uint32_t* indices() const { return idx_; }
+  // Dense form only: the first row of the run.
+  uint32_t first() const { return first_; }
+
+ private:
+  Selection(const uint32_t* idx, uint32_t first, uint32_t count)
+      : idx_(idx), first_(first), size_(count) {}
+
+  const uint32_t* idx_;
+  uint32_t first_;
+  uint32_t size_;
+};
+
+}  // namespace emcalc
+
+#endif  // EMCALC_EXEC_SELECTION_H_

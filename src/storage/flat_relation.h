@@ -183,8 +183,30 @@ class FlatRelation {
     SyncCharge();
   }
 
+  // Unchecked bulk append of `n` rows stored contiguously row-major at
+  // `values` (n * arity() cells). One insert, one charge sync — the batch
+  // kernels stage a whole batch and land it here.
+  void AppendRows(const Value* values, size_t n) {
+    if (n == 0) return;
+    if (arity_ > 0) {
+      data_.insert(data_.end(), values,
+                   values + n * static_cast<size_t>(arity_));
+    }
+    rows_ += n;
+    dirty_ = true;
+    SyncCharge();
+  }
+
   // Appends every row of `other` (same arity) without normalizing.
   void AppendAll(const FlatRelation& other);
+
+  // The normalized arity-strided backing buffer (size() * arity() cells).
+  // Valid until the next mutation; the batch kernels slice columns out of
+  // it directly.
+  const Value* data() const {
+    Normalize();
+    return data_.data();
+  }
 
   // Membership test.
   bool Contains(const Tuple& t) const { return Contains(TupleRef(t)); }

@@ -7,7 +7,16 @@ namespace emcalc {
 void FunctionRegistry::Register(
     const std::string& name, int arity,
     std::function<Value(std::span<const Value>)> fn) {
-  functions_[name] = ScalarFunction{arity, std::move(fn)};
+  functions_[name] = ScalarFunction{arity, std::move(fn), nullptr};
+}
+
+void FunctionRegistry::Register(
+    const std::string& name, int arity,
+    std::function<Value(std::span<const Value>)> fn,
+    std::function<void(std::span<const std::span<const Value>>,
+                       std::span<Value>)>
+        batch) {
+  functions_[name] = ScalarFunction{arity, std::move(fn), std::move(batch)};
 }
 
 const ScalarFunction* FunctionRegistry::Find(const std::string& name) const {
@@ -41,56 +50,83 @@ std::string AsText(const Value& v) {
   return v.is_int() ? std::to_string(v.AsInt()) : v.AsStr();
 }
 
+// AsNum with the inline-int decode kept in the loop body; pooled values
+// (strings and big ints) take the out-of-line path.
+int64_t FastNum(const Value& v) {
+  uint64_t raw = v.raw();
+  if ((raw & 1) == 0) return static_cast<int64_t>(raw) >> 1;
+  return AsNum(v);
+}
+
 }  // namespace
 
 FunctionRegistry BuiltinFunctions() {
   FunctionRegistry reg;
-  auto unary = [&reg](const std::string& name, auto op) {
+  // Numeric builtins register both forms from one int64 op, so the scalar
+  // and batch paths cannot drift. The batch form is a tight column loop:
+  // no per-row std::function dispatch, inline-int decode in the body.
+  auto unary_num = [&reg](const std::string& name, auto op) {
+    reg.Register(
+        name, 1,
+        [op](std::span<const Value> a) { return Value::Int(op(AsNum(a[0]))); },
+        [op](std::span<const std::span<const Value>> args,
+             std::span<Value> out) {
+          const Value* a = args[0].data();
+          for (size_t i = 0; i < out.size(); ++i) {
+            out[i] = Value::Int(op(FastNum(a[i])));
+          }
+        });
+  };
+  auto binary_num = [&reg](const std::string& name, auto op) {
+    reg.Register(
+        name, 2,
+        [op](std::span<const Value> a) {
+          return Value::Int(op(AsNum(a[0]), AsNum(a[1])));
+        },
+        [op](std::span<const std::span<const Value>> args,
+             std::span<Value> out) {
+          const Value* a = args[0].data();
+          const Value* b = args[1].data();
+          for (size_t i = 0; i < out.size(); ++i) {
+            out[i] = Value::Int(op(FastNum(a[i]), FastNum(b[i])));
+          }
+        });
+  };
+  // String-producing builtins keep the scalar form only (the batch kernels
+  // loop it per lane; pool interning dominates either way).
+  auto unary_str = [&reg](const std::string& name, auto op) {
     reg.Register(name, 1, [op](std::span<const Value> a) { return op(a[0]); });
   };
-  auto binary = [&reg](const std::string& name, auto op) {
+  auto binary_str = [&reg](const std::string& name, auto op) {
     reg.Register(name, 2,
                  [op](std::span<const Value> a) { return op(a[0], a[1]); });
   };
 
-  unary("succ", [](const Value& v) { return Value::Int(AsNum(v) + 1); });
-  unary("pred", [](const Value& v) { return Value::Int(AsNum(v) - 1); });
-  unary("double", [](const Value& v) { return Value::Int(AsNum(v) * 2); });
-  unary("half", [](const Value& v) { return Value::Int(AsNum(v) / 2); });
-  unary("abs", [](const Value& v) {
-    int64_t n = AsNum(v);
-    return Value::Int(n < 0 ? -n : n);
-  });
-  unary("neg", [](const Value& v) { return Value::Int(-AsNum(v)); });
-  unary("len", [](const Value& v) { return Value::Int(AsNum(v)); });
-  unary("first_char", [](const Value& v) {
+  unary_num("succ", [](int64_t n) { return n + 1; });
+  unary_num("pred", [](int64_t n) { return n - 1; });
+  unary_num("double", [](int64_t n) { return n * 2; });
+  unary_num("half", [](int64_t n) { return n / 2; });
+  unary_num("abs", [](int64_t n) { return n < 0 ? -n : n; });
+  unary_num("neg", [](int64_t n) { return -n; });
+  unary_num("len", [](int64_t n) { return n; });
+  unary_str("first_char", [](const Value& v) {
     std::string s = AsText(v);
     return Value::Str(s.empty() ? "" : s.substr(0, 1));
   });
 
-  binary("plus", [](const Value& a, const Value& b) {
-    return Value::Int(AsNum(a) + AsNum(b));
-  });
-  binary("minus", [](const Value& a, const Value& b) {
-    return Value::Int(AsNum(a) - AsNum(b));
-  });
-  binary("times", [](const Value& a, const Value& b) {
-    return Value::Int(AsNum(a) * AsNum(b));
-  });
-  binary("min2", [](const Value& a, const Value& b) {
-    return Value::Int(std::min(AsNum(a), AsNum(b)));
-  });
-  binary("max2", [](const Value& a, const Value& b) {
-    return Value::Int(std::max(AsNum(a), AsNum(b)));
-  });
-  binary("concat", [](const Value& a, const Value& b) {
+  binary_num("plus", [](int64_t a, int64_t b) { return a + b; });
+  binary_num("minus", [](int64_t a, int64_t b) { return a - b; });
+  binary_num("times", [](int64_t a, int64_t b) { return a * b; });
+  binary_num("min2", [](int64_t a, int64_t b) { return std::min(a, b); });
+  binary_num("max2", [](int64_t a, int64_t b) { return std::max(a, b); });
+  binary_str("concat", [](const Value& a, const Value& b) {
     return Value::Str(AsText(a) + AsText(b));
   });
-  binary("mix", [](const Value& a, const Value& b) {
-    uint64_t x = static_cast<uint64_t>(AsNum(a)) * 0x9e3779b97f4a7c15ULL +
-                 static_cast<uint64_t>(AsNum(b));
+  binary_num("mix", [](int64_t a, int64_t b) {
+    uint64_t x = static_cast<uint64_t>(a) * 0x9e3779b97f4a7c15ULL +
+                 static_cast<uint64_t>(b);
     x ^= x >> 29;
-    return Value::Int(static_cast<int64_t>(x & 0x7fffffff));
+    return static_cast<int64_t>(x & 0x7fffffff);
   });
   return reg;
 }

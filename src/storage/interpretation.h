@@ -20,6 +20,13 @@ namespace emcalc {
 struct ScalarFunction {
   int arity = 0;
   std::function<Value(std::span<const Value>)> fn;
+  // Optional vectorized form used by the batch kernels
+  // (src/exec/scalar_program.h): args[j] is the j-th argument column, each
+  // out.size() lanes; must write fn({args[0][i], ...}) to out[i] for every
+  // lane. Absent => the kernels loop the scalar form per lane.
+  std::function<void(std::span<const std::span<const Value>>,
+                     std::span<Value>)>
+      batch;
 };
 
 // Maps function names to implementations. Keyed by name strings so a
@@ -31,6 +38,13 @@ class FunctionRegistry {
   // Registers (or replaces) `name`.
   void Register(const std::string& name, int arity,
                 std::function<Value(std::span<const Value>)> fn);
+
+  // Registers (or replaces) `name` with both scalar and vectorized forms.
+  void Register(const std::string& name, int arity,
+                std::function<Value(std::span<const Value>)> fn,
+                std::function<void(std::span<const std::span<const Value>>,
+                                   std::span<Value>)>
+                    batch);
 
   // Lookup; nullptr when absent.
   const ScalarFunction* Find(const std::string& name) const;

@@ -1,0 +1,428 @@
+// Differential tests for the vectorized batch kernels (src/exec/
+// scalar_program.h, src/exec/selection.h): every (batch_size, num_threads)
+// combination must produce output bit-identical to the tuple-at-a-time
+// interpreter and to the legacy recursive evaluator, over the paper corpus
+// and a seeded random corpus; plus unit tests for Selection edge cases and
+// the compiled scalar program (CSE, constant folding, staged filters).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/algebra/eval.h"
+#include "src/algebra/printer.h"
+#include "src/calculus/parser.h"
+#include "src/calculus/printer.h"
+#include "src/core/random_query.h"
+#include "src/core/workload.h"
+#include "src/exec/lower.h"
+#include "src/exec/physical.h"
+#include "src/exec/scalar_program.h"
+#include "src/exec/selection.h"
+#include "src/translate/pipeline.h"
+
+namespace emcalc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Selection edge cases.
+
+TEST(SelectionTest, EmptySelection) {
+  Selection dense = Selection::Dense(42, 0);
+  EXPECT_TRUE(dense.empty());
+  EXPECT_EQ(dense.size(), 0u);
+  Selection sparse = Selection::Sparse(nullptr, 0);
+  EXPECT_TRUE(sparse.empty());
+}
+
+TEST(SelectionTest, FullDenseBatchIndexesAbsoluteRows) {
+  Selection sel = Selection::Dense(2048, 1024);
+  EXPECT_TRUE(sel.dense());
+  EXPECT_EQ(sel.size(), 1024u);
+  EXPECT_EQ(sel[0], 2048u);
+  EXPECT_EQ(sel[1023], 2048u + 1023u);
+  EXPECT_EQ(sel.indices(), nullptr);
+  EXPECT_EQ(sel.first(), 2048u);
+}
+
+TEST(SelectionTest, SingleRowTailBatch) {
+  // The last batch of a 4097-row input at batch_size 1024 covers one row.
+  Selection sel = Selection::Dense(4096, 1);
+  EXPECT_EQ(sel.size(), 1u);
+  EXPECT_EQ(sel[0], 4096u);
+}
+
+TEST(SelectionTest, SparseViewBorrowsIndexArray) {
+  const uint32_t idx[] = {3, 7, 11};
+  Selection sel = Selection::Sparse(idx, 3);
+  EXPECT_FALSE(sel.dense());
+  EXPECT_EQ(sel.size(), 3u);
+  EXPECT_EQ(sel[0], 3u);
+  EXPECT_EQ(sel[2], 11u);
+  EXPECT_EQ(sel.indices(), idx);
+}
+
+// ---------------------------------------------------------------------------
+// Compiled scalar programs, driven directly through a lowered plan.
+
+class BatchProgramTest : public ::testing::Test {
+ protected:
+  BatchProgramTest() : factory_(ctx_), registry_(BuiltinFunctions()) {
+    EXPECT_TRUE(db_.AddRelation("R", 2).ok());
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_TRUE(
+          db_.Insert("R", {Value::Int(i), Value::Int(100 - i)}).ok());
+    }
+  }
+
+  const ScalarExpr* Apply1(const char* fn, const ScalarExpr* a) {
+    return factory_.exprs().Apply(ctx_.symbols().Intern(fn),
+                                  std::vector<const ScalarExpr*>{a});
+  }
+  const ScalarExpr* Apply2(const char* fn, const ScalarExpr* a,
+                           const ScalarExpr* b) {
+    return factory_.exprs().Apply(ctx_.symbols().Intern(fn),
+                                  std::vector<const ScalarExpr*>{a, b});
+  }
+
+  AstContext ctx_;
+  AlgebraFactory factory_;
+  FunctionRegistry registry_;
+  Database db_;
+};
+
+// A subtree repeated across output columns is computed once per batch:
+// runtime function_calls drop below the tuple path's per-column count.
+TEST_F(BatchProgramTest, CommonSubexpressionsShareWork) {
+  ExprFactory& e = factory_.exprs();
+  const ScalarExpr* shared = Apply1("succ", e.Col(0));
+  const AlgExpr* plan = factory_.Project(
+      {Apply1("double", shared), Apply1("neg", shared)}, factory_.Rel("R", 2));
+
+  AlgebraEvalOptions tuple_opts;
+  tuple_opts.batch_size = 1;
+  tuple_opts.num_threads = 1;
+  AlgebraEvalOptions batch_opts;
+  batch_opts.batch_size = 16;
+  batch_opts.num_threads = 1;
+  AlgebraEvalStats ts, bs;
+  auto tuple = EvaluateAlgebra(ctx_, plan, db_, registry_, &ts, tuple_opts);
+  auto batch = EvaluateAlgebra(ctx_, plan, db_, registry_, &bs, batch_opts);
+  ASSERT_TRUE(tuple.ok());
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(*tuple, *batch);
+  // Tuple path: 3 applications per row (succ twice). Batch: 3 ops but the
+  // shared succ register evaluates once, so 3 counted lanes per row.
+  EXPECT_EQ(ts.function_calls, 4u * 50u);
+  EXPECT_EQ(bs.function_calls, 3u * 50u);
+}
+
+// An all-constant application folds at compile time: zero runtime calls.
+TEST_F(BatchProgramTest, ConstantApplicationsFoldAtCompileTime) {
+  ExprFactory& e = factory_.exprs();
+  const AlgExpr* plan = factory_.Project(
+      {e.Col(0), Apply1("succ", e.ConstValue(Value::Int(41)))},
+      factory_.Rel("R", 2));
+
+  AlgebraEvalOptions batch_opts;
+  batch_opts.batch_size = 16;
+  batch_opts.num_threads = 1;
+  AlgebraEvalStats bs;
+  auto batch = EvaluateAlgebra(ctx_, plan, db_, registry_, &bs, batch_opts);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(bs.function_calls, 0u);
+  EXPECT_TRUE(batch->Contains({Value::Int(7), Value::Int(42)}));
+}
+
+// Staged filter evaluation: a second condition only runs over lanes that
+// survived the first, so per-lane work never exceeds the tuple path's
+// short-circuit count.
+TEST_F(BatchProgramTest, StagedFilterMatchesShortCircuitCounts) {
+  ExprFactory& e = factory_.exprs();
+  const AlgExpr* plan = factory_.Select(
+      {{Apply1("half", e.Col(0)), AlgCompareOp::kLt, e.Col(1)},
+       {Apply1("succ", e.Col(0)), AlgCompareOp::kNe, e.Col(1)}},
+      factory_.Rel("R", 2));
+
+  AlgebraEvalOptions tuple_opts;
+  tuple_opts.batch_size = 1;
+  tuple_opts.num_threads = 1;
+  AlgebraEvalOptions batch_opts;
+  batch_opts.batch_size = 7;
+  batch_opts.num_threads = 1;
+  AlgebraEvalStats ts, bs;
+  auto tuple = EvaluateAlgebra(ctx_, plan, db_, registry_, &ts, tuple_opts);
+  auto batch = EvaluateAlgebra(ctx_, plan, db_, registry_, &bs, batch_opts);
+  ASSERT_TRUE(tuple.ok());
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(*tuple, *batch);
+  EXPECT_EQ(bs.function_calls, ts.function_calls);
+}
+
+// Mixed int/string comparison columns take the order-key gather path and
+// must order exactly like Value's total order (ints before strings,
+// strings lexicographic including 8-byte-prefix ties).
+TEST_F(BatchProgramTest, MixedOrderComparisonsMatchTuplePath) {
+  Database db;
+  ASSERT_TRUE(db.AddRelation("M", 2).ok());
+  const std::vector<Value> vals = {
+      Value::Int(-5),
+      Value::Int(0),
+      Value::Int(12),
+      Value::Str("alpha"),
+      Value::Str("alphabet"),    // shares an 8-byte prefix region
+      Value::Str("alphabets"),   // distinct beyond the prefix
+      Value::Str("zeta"),
+      Value::Str(""),
+  };
+  for (const Value& a : vals) {
+    for (const Value& b : vals) {
+      ASSERT_TRUE(db.Insert("M", {a, b}).ok());
+    }
+  }
+  ExprFactory& e = factory_.exprs();
+  for (AlgCompareOp op : {AlgCompareOp::kLt, AlgCompareOp::kLe,
+                          AlgCompareOp::kEq, AlgCompareOp::kNe}) {
+    const AlgExpr* plan =
+        factory_.Select({{e.Col(0), op, e.Col(1)}}, factory_.Rel("M", 2));
+    AlgebraEvalOptions tuple_opts;
+    tuple_opts.batch_size = 1;
+    AlgebraEvalOptions batch_opts;
+    batch_opts.batch_size = 1024;
+    auto tuple = EvaluateAlgebra(ctx_, plan, db, registry_,
+                                 /*stats=*/nullptr, tuple_opts);
+    auto batch = EvaluateAlgebra(ctx_, plan, db, registry_,
+                                 /*stats=*/nullptr, batch_opts);
+    ASSERT_TRUE(tuple.ok());
+    ASSERT_TRUE(batch.ok());
+    EXPECT_EQ(tuple->ToString(), batch->ToString())
+        << "op=" << static_cast<int>(op);
+  }
+}
+
+// The fused FilterSelect→ProjectMap pair must keep both operators' row
+// accounting identical to the unfused tuple path, and the batch counters
+// must surface in the profile.
+TEST_F(BatchProgramTest, FusedFilterProjectKeepsRowAccounting) {
+  ExprFactory& e = factory_.exprs();
+  const AlgExpr* plan = factory_.Project(
+      {Apply2("plus", e.Col(0), e.Col(1))},
+      factory_.Select({{e.Col(0), AlgCompareOp::kLt, e.Col(1)}},
+                      factory_.Rel("R", 2)));
+
+  for (size_t batch_size : {size_t{1}, size_t{16}}) {
+    ExecOptions opts;
+    opts.batch_size = batch_size;
+    opts.num_threads = 1;
+    auto physical = Lower(ctx_, plan, registry_, opts);
+    ASSERT_TRUE(physical.ok());
+    ExecProfile profile;
+    auto result = physical->ExecuteToRelation(db_, &profile);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(profile.op, PhysOpKind::kProjectMap);
+    ASSERT_EQ(profile.children.size(), 1u);
+    const ExecProfile& filter = profile.children[0];
+    ASSERT_EQ(filter.op, PhysOpKind::kFilterSelect);
+    // R holds (i, 100-i) for i in [0,50): i < 100-i holds for every row.
+    EXPECT_EQ(filter.stats.rows_in, 50u);
+    EXPECT_EQ(filter.stats.rows_out, 50u);
+    EXPECT_EQ(profile.stats.rows_in, 50u);
+    if (batch_size > 1) {
+      EXPECT_GT(profile.stats.batches, 0u);
+      EXPECT_EQ(profile.stats.batch_rows, 50u);
+      EXPECT_EQ(profile.stats.batch_sel_rows, 50u);
+      // Fused: the filter materializes nothing, so it copies nothing.
+      EXPECT_EQ(filter.stats.tuple_copies, 0u);
+      std::string rendered = ExecProfileToString(profile);
+      EXPECT_NE(rendered.find("batches="), std::string::npos);
+      EXPECT_NE(rendered.find("sel_density="), std::string::npos);
+    }
+  }
+}
+
+// Profile JSON round-trip including the batch counters.
+TEST_F(BatchProgramTest, BatchCountersRoundTripThroughJson) {
+  ExecProfile p;
+  p.op = PhysOpKind::kProjectMap;
+  p.stats.batches = 7;
+  p.stats.batch_rows = 7000;
+  p.stats.batch_sel_rows = 4096;
+  auto parsed = ExecProfileFromJson(ExecProfileToJson(p));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->stats.batches, 7u);
+  EXPECT_EQ(parsed->stats.batch_rows, 7000u);
+  EXPECT_EQ(parsed->stats.batch_sel_rows, 4096u);
+}
+
+// ---------------------------------------------------------------------------
+// Differential grid over the paper corpus and a random corpus.
+
+struct CorpusQuery {
+  const char* text;
+  std::vector<std::pair<const char*, int>> schema;
+};
+
+const CorpusQuery kPaperCorpus[] = {
+    {"{y | exists x (R(x) and y = g(f(x)))}", {{"R", 1}}},                // q1
+    {"{x | R(x) and exists y (f(x) = y and not R(y))}", {{"R", 1}}},      // q2
+    {"{x, y | B(x) and not (((f(x) != y and g(x) != y) or R(x, y)) and "
+     "((h(x) != y and k(x) != y) or P(x, y)))}",
+     {{"B", 1}, {"R", 2}, {"P", 2}}},                                     // q4
+    {"{x, y | (R(x) and f(x) = y) or (S(y) and g(y) = x)}",
+     {{"R", 1}, {"S", 1}}},                                               // q5
+    {"{x, y, z | R(x, y, z) and not S(y, z)}", {{"R", 3}, {"S", 2}}},     // q6
+};
+
+FunctionRegistry CorpusFunctions() {
+  FunctionRegistry reg = BuiltinFunctions();
+  auto mod_fn = [](int64_t mul, int64_t add) {
+    return [mul, add](std::span<const Value> a) {
+      int64_t n = a[0].is_int() ? a[0].AsInt() : 17;
+      return Value::Int((n * mul + add) % 7);
+    };
+  };
+  reg.Register("f", 1, mod_fn(1, 1));
+  reg.Register("g", 1, mod_fn(2, 0));
+  reg.Register("h", 1, mod_fn(3, 2));
+  reg.Register("k", 1, mod_fn(1, 4));
+  return reg;
+}
+
+const size_t kBatchSizes[] = {1, 7, 1024};
+const size_t kThreadCounts[] = {1, 4, 0};
+
+// Paper corpus on inputs large enough to exercise the parallel batch
+// kernels: every (batch_size, num_threads) cell must match the legacy
+// interpreter bit-for-bit (ToString compares the normalized rendering).
+TEST(BatchDifferentialTest, PaperCorpusIdenticalAcrossBatchGrid) {
+  FunctionRegistry registry = CorpusFunctions();
+  for (const CorpusQuery& cq : kPaperCorpus) {
+    AstContext ctx;
+    auto q = ParseQuery(ctx, cq.text);
+    ASSERT_TRUE(q.ok()) << cq.text;
+    auto t = TranslateQuery(ctx, *q);
+    ASSERT_TRUE(t.ok()) << cq.text;
+    Database db;
+    for (const auto& [name, arity] : cq.schema) {
+      AddRandomTuples(db, name, arity, /*rows=*/6000, /*value_pool=*/100000,
+                      /*seed=*/arity * 7 + 1);
+    }
+    auto legacy = EvaluateAlgebraLegacy(ctx, t->plan, db, registry);
+    ASSERT_TRUE(legacy.ok()) << cq.text;
+    const std::string want = legacy->ToString();
+    for (size_t batch_size : kBatchSizes) {
+      for (size_t threads : kThreadCounts) {
+        AlgebraEvalOptions options;
+        options.batch_size = batch_size;
+        options.num_threads = threads;
+        auto phys = EvaluateAlgebra(ctx, t->plan, db, registry,
+                                    /*stats=*/nullptr, options);
+        ASSERT_TRUE(phys.ok()) << cq.text;
+        EXPECT_EQ(phys->ToString(), want)
+            << cq.text << " differs at batch_size=" << batch_size
+            << " num_threads=" << threads;
+      }
+    }
+  }
+}
+
+// 200 seeded random em-allowed queries through the full grid. Small
+// databases sweep plan shapes (including odd arities and empty inputs)
+// through the batched entry points; function-call counts must never
+// exceed the tuple path's (CSE and folding only remove work).
+TEST(BatchDifferentialTest, RandomQueriesIdenticalAcrossBatchGrid) {
+  FunctionRegistry registry = CorpusFunctions();
+  registry.Register("rf0", 1, [](std::span<const Value> a) {
+    int64_t n = a[0].is_int() ? a[0].AsInt() : 17;
+    return Value::Int((n + 1) % 7);
+  });
+  registry.Register("rf1", 2, [](std::span<const Value> a) {
+    int64_t n = a[0].is_int() ? a[0].AsInt() : 3;
+    int64_t m = a[1].is_int() ? a[1].AsInt() : 5;
+    return Value::Int((n * 3 + m) % 7);
+  });
+
+  int checked = 0;
+  for (uint64_t seed = 3000; checked < 200 && seed < 3100; ++seed) {
+    AstContext ctx;
+    RandomQueryGen gen(ctx, seed);
+    for (int i = 0; i < 8 && checked < 200; ++i) {
+      auto q = gen.NextEmAllowed();
+      if (!q.has_value()) continue;
+      auto t = TranslateQuery(ctx, *q);
+      ASSERT_TRUE(t.ok()) << QueryToString(ctx, *q);
+      Database db;
+      const std::vector<int>& arities = gen.relation_arities();
+      for (size_t r = 0; r < arities.size(); ++r) {
+        AddRandomTuples(db, "R" + std::to_string(r), arities[r], /*rows=*/6,
+                        /*value_pool=*/6, seed * 613 + r * 31 + i);
+      }
+      AlgebraEvalStats ls;
+      auto legacy = EvaluateAlgebraLegacy(ctx, t->plan, db, registry, &ls);
+      ASSERT_TRUE(legacy.ok()) << QueryToString(ctx, *q);
+      const std::string want = legacy->ToString();
+      for (size_t batch_size : kBatchSizes) {
+        for (size_t threads : kThreadCounts) {
+          AlgebraEvalOptions options;
+          options.batch_size = batch_size;
+          options.num_threads = threads;
+          AlgebraEvalStats ps;
+          auto phys = EvaluateAlgebra(ctx, t->plan, db, registry, &ps,
+                                      options);
+          ASSERT_TRUE(phys.ok()) << QueryToString(ctx, *q);
+          ASSERT_EQ(phys->ToString(), want)
+              << QueryToString(ctx, *q) << "\nplan: "
+              << AlgExprToString(ctx, t->plan)
+              << "\nbatch_size=" << batch_size
+              << " num_threads=" << threads;
+          EXPECT_EQ(ls.tuples_produced, ps.tuples_produced)
+              << QueryToString(ctx, *q) << " batch_size=" << batch_size;
+          EXPECT_LE(ps.function_calls, ls.function_calls)
+              << QueryToString(ctx, *q) << " batch_size=" << batch_size;
+        }
+      }
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, 200) << "generator exhausted before 200 queries";
+}
+
+// The morsel threshold knob: an explicit option forces tiny inputs onto
+// the parallel path (par_workers recorded), and the env knob is read only
+// when the option is 0.
+TEST(BatchDifferentialTest, MorselThresholdOptionControlsFanOut) {
+  AstContext ctx;
+  AlgebraFactory factory(ctx);
+  ExprFactory& e = factory.exprs();
+  FunctionRegistry registry = BuiltinFunctions();
+  Database db;
+  ASSERT_TRUE(db.AddRelation("R", 1).ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(db.Insert("R", {Value::Int(i)}).ok());
+  }
+  Symbol succ = ctx.symbols().Intern("succ");
+  const AlgExpr* plan = factory.Project(
+      {e.Apply(succ, std::vector<const ScalarExpr*>{e.Col(0)})},
+      factory.Rel("R", 1));
+
+  auto run = [&](ExecOptions opts) {
+    auto physical = Lower(ctx, plan, registry, opts);
+    EXPECT_TRUE(physical.ok());
+    ExecProfile profile;
+    auto result = physical->ExecuteToRelation(db, &profile);
+    EXPECT_TRUE(result.ok());
+    return profile.stats.par_morsels;
+  };
+
+  ExecOptions default_opts;
+  default_opts.num_threads = 4;
+  EXPECT_EQ(run(default_opts), 0u);  // 100 rows < default 4096 floor
+
+  ExecOptions low_floor = default_opts;
+  low_floor.morsel_threshold = 10;
+  EXPECT_GT(run(low_floor), 0u);  // forced onto the parallel path
+}
+
+}  // namespace
+}  // namespace emcalc

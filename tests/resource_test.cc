@@ -348,6 +348,57 @@ TEST(ExecProfileTest, CarriesEstimatesAndMemoryPerOperator) {
   EXPECT_NE(rendered.find("peak_bytes="), std::string::npos);
 }
 
+// Batch-kernel scratch (register file, selection vectors, order keys) is
+// charged to the owning operator's memory slot: the ProjectMap's slot
+// grows versus the tuple path, while the fused FilterSelect — which no
+// longer materializes its output — shrinks.
+TEST(ExecProfileTest, BatchScratchChargesOwningOperator) {
+  FunctionRegistry registry = BuiltinFunctions();
+  AstContext ctx;
+  AlgebraFactory factory(ctx);
+  ExprFactory& e = factory.exprs();
+  Database db;
+  ASSERT_TRUE(db.AddRelation("R", 2).ok());
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(db.Insert("R", {Value::Int(i), Value::Int(i % 97)}).ok());
+  }
+  Symbol plus = ctx.symbols().Intern("plus");
+  const AlgExpr* plan = factory.Project(
+      {e.Apply(plus, std::vector<const ScalarExpr*>{e.Col(0), e.Col(1)})},
+      factory.Select({{e.Col(1), AlgCompareOp::kLt, e.Col(0)}},
+                     factory.Rel("R", 2)));
+
+  auto run = [&](size_t batch_size) {
+    ExecOptions opts;
+    opts.batch_size = batch_size;
+    opts.num_threads = 1;
+    auto lowered = Lower(ctx, plan, registry, opts);
+    EXPECT_TRUE(lowered.ok());
+    ExecProfile profile;
+    auto result = lowered->ExecuteToRelation(db, &profile);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return profile;
+  };
+
+  ExecProfile tuple = run(1);
+  ExecProfile batch = run(1024);
+  ASSERT_EQ(batch.op, PhysOpKind::kProjectMap);
+  ASSERT_EQ(batch.children.size(), 1u);
+  ASSERT_EQ(batch.children[0].op, PhysOpKind::kFilterSelect);
+  // Both programs run inside the ProjectMap's frame, so their scratch
+  // lands on its slot on top of the output buffer the tuple path also
+  // pays for.
+  EXPECT_GT(batch.stats.bytes_allocated, tuple.stats.bytes_allocated);
+  EXPECT_GT(batch.stats.peak_bytes, 0);
+  // The fused filter passes a selection vector instead of copying rows,
+  // so its own slot charges strictly less than the materializing path.
+  EXPECT_LT(batch.children[0].stats.bytes_allocated,
+            tuple.children[0].stats.bytes_allocated);
+  // Operator slots still attribute within the query total.
+  EXPECT_LE(batch.stats.bytes_allocated + batch.children[0].stats.bytes_allocated,
+            batch.total_bytes_allocated);
+}
+
 TEST(ExecProfileTest, JsonRoundTripIsExact) {
   FunctionRegistry registry = BuiltinFunctions();
   Database db = JoinInstance(2'000);
