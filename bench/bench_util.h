@@ -19,6 +19,7 @@
 #include <string>
 
 #include "src/exec/physical.h"
+#include "src/obs/history.h"
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
 #include "src/obs/query_log.h"
@@ -93,11 +94,13 @@ inline void AppendExecRecord(const std::string& bench,
 }
 
 // Standard main: honor the observability env vars (EMCALC_TRACE,
-// EMCALC_QUERY_LOG), print the report, then run the registered benchmarks.
+// EMCALC_QUERY_LOG, EMCALC_HISTORY_DIR), print the report, then run the
+// registered benchmarks.
 #define EMCALC_BENCH_MAIN(report_fn)                       \
   int main(int argc, char** argv) {                        \
     ::emcalc::obs::InitTracingFromEnv();                   \
     ::emcalc::obs::InitQueryLogFromEnv();                  \
+    ::emcalc::obs::InitHistoryFromEnv();                   \
     report_fn();                                           \
     ::benchmark::Initialize(&argc, argv);                  \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \

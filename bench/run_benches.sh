@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # Produces the canonical bench artifacts at the repo root:
 #
-#   BENCH_perf.json   kernel + operator-stack rows/sec (bench_flat_exec)
-#   BENCH_obs.json    observability overhead guard (bench_obs_overhead)
+#   BENCH_perf.json    kernel + operator-stack rows/sec (bench_flat_exec)
+#   BENCH_obs.json     observability overhead guard (bench_obs_overhead)
+#   BENCH_quality.json plan-quality / history-feedback verdicts
+#                      (bench_plan_quality)
 #
 # Usage: bench/run_benches.sh [BUILD_DIR]
 #
 # BUILD_DIR defaults to "build" and must already contain the compiled
 # bench binaries (cmake --build BUILD_DIR --target bench_flat_exec
-# bench_obs_overhead). Each binary runs in table mode only
+# bench_obs_overhead bench_plan_quality). Each binary runs in table mode only
 # (--benchmark_filter=NONE skips the google-benchmark timing loops) inside
 # a scratch directory, so the JSON-Lines files are written fresh — no
 # stale records accumulate across runs. The finished files are then moved
@@ -22,7 +24,7 @@ case "$build_dir" in
   *) build_dir="$repo_root/$build_dir" ;;
 esac
 
-for bin in bench_flat_exec bench_obs_overhead; do
+for bin in bench_flat_exec bench_obs_overhead bench_plan_quality; do
   if [[ ! -x "$build_dir/bench/$bin" ]]; then
     echo "error: $build_dir/bench/$bin not built" >&2
     echo "hint: cmake --build $build_dir --target $bin" >&2
@@ -39,8 +41,13 @@ echo "== bench_flat_exec (BENCH_perf.json) =="
 echo
 echo "== bench_obs_overhead (BENCH_obs.json) =="
 "$build_dir/bench/bench_obs_overhead" --benchmark_filter=NONE
+echo
+echo "== bench_plan_quality (BENCH_quality.json) =="
+"$build_dir/bench/bench_plan_quality" --benchmark_filter=NONE
 
 mv BENCH_perf.json "$repo_root/BENCH_perf.json"
 mv BENCH_obs.json "$repo_root/BENCH_obs.json"
+mv BENCH_quality.json "$repo_root/BENCH_quality.json"
 echo
-echo "wrote $repo_root/BENCH_perf.json and $repo_root/BENCH_obs.json"
+echo "wrote $repo_root/BENCH_perf.json, $repo_root/BENCH_obs.json, and" \
+     "$repo_root/BENCH_quality.json"

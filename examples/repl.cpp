@@ -16,16 +16,18 @@
 //   .mem                    print process memory accounting
 //   .feedback QUERY         run QUERY, print estimate-vs-actual feedback
 //   .log FILE | .log off    append per-query JSON-Lines records to FILE
+//   .history DIR | off | status   durable per-query-hash feedback store
+//                           (records run actuals, corrects estimates)
 //   .postmortem DIR | off | status | now   abort/crash bundle control
 //   .prometheus             metrics in Prometheus text format
 //   .pool                   thread-pool contention telemetry
 //   help
 //   quit
 //
-// The EMCALC_TRACE / EMCALC_QUERY_LOG / EMCALC_POSTMORTEM_DIR environment
-// variables enable the same sinks without commands (trace flushed at
-// exit; postmortem bundles written on governor aborts, run errors, and
-// fatal signals).
+// The EMCALC_TRACE / EMCALC_QUERY_LOG / EMCALC_HISTORY_DIR /
+// EMCALC_POSTMORTEM_DIR environment variables enable the same sinks
+// without commands (trace flushed at exit; postmortem bundles written on
+// governor aborts, run errors, and fatal signals).
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -38,6 +40,8 @@
 #include "src/calculus/printer.h"
 #include "src/core/compiler.h"
 #include "src/exec/feedback.h"
+#include "src/obs/history.h"
+#include "src/obs/inspect.h"
 #include "src/obs/metrics.h"
 #include "src/obs/postmortem.h"
 #include "src/obs/query_log.h"
@@ -64,6 +68,8 @@ void PrintHelp() {
       "  .mem                    print process memory accounting\n"
       "  .feedback QUERY         run QUERY, print est-vs-actual feedback\n"
       "  .log FILE | off         per-query JSON-Lines log\n"
+      "  .history DIR | off | status   feedback store: record actuals,\n"
+      "                          correct estimates, show the store digest\n"
       "  .postmortem DIR | off | status | now   abort/crash bundles\n"
       "  .prometheus             metrics in Prometheus text format\n"
       "  .pool                   thread-pool contention telemetry\n"
@@ -73,7 +79,12 @@ void PrintHelp() {
 }
 
 void RunQuery(emcalc::Compiler& compiler, emcalc::Database& db,
-              const std::string& text, bool execute, bool profile) {
+              const std::string& raw_text, bool execute, bool profile) {
+  // `plan Q` / `profile Q` arrive with the separator space still attached;
+  // trim so Q hashes identically to a bare run of the same query (the
+  // query log and history store join on the text hash).
+  std::string text = raw_text;
+  text.erase(0, text.find_first_not_of(" \t"));
   auto q = compiler.Compile(text);
   if (!q.ok()) {
     std::printf("error: %s\n", q.status().ToString().c_str());
@@ -215,12 +226,14 @@ struct TraceCapture {
 int main() {
   emcalc::obs::InitTracingFromEnv();
   emcalc::obs::InitQueryLogFromEnv();
+  emcalc::obs::InitHistoryFromEnv();
   emcalc::obs::InitPostmortemFromEnv();
   emcalc::obs::InstallCrashHandler();
   emcalc::Compiler compiler;
   emcalc::Database db;
   TraceCapture capture;
   std::unique_ptr<emcalc::obs::QueryLog> query_log;
+  std::unique_ptr<emcalc::obs::HistoryStore> history;
   std::printf("emcalc shell — 'help' for commands\n");
   std::string line;
   while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
@@ -320,6 +333,41 @@ int main() {
       std::printf("query log to %s\n", arg.c_str());
       continue;
     }
+    if (command == ".history") {
+      std::string arg;
+      words >> arg;
+      if (arg.empty() || arg == "status") {
+        emcalc::obs::HistoryStore* store = emcalc::obs::GetHistoryStore();
+        if (store == nullptr) {
+          std::printf("history: off\n");
+        } else {
+          std::printf("history: %s\n", store->path().c_str());
+          std::printf("%s",
+                      emcalc::obs::RenderHistory(store->Scan(), 5).c_str());
+        }
+        continue;
+      }
+      if (arg == "off") {
+        if (history != nullptr &&
+            emcalc::obs::GetHistoryStore() == history.get()) {
+          emcalc::obs::SetHistoryStore(nullptr);
+        }
+        history.reset();
+        std::printf("history off\n");
+        continue;
+      }
+      auto store = emcalc::obs::HistoryStore::Open(arg);
+      if (!store.ok()) {
+        std::printf("error: %s\n", store.status().ToString().c_str());
+        continue;
+      }
+      history = std::move(store).value();
+      emcalc::obs::SetHistoryStore(history.get());
+      std::printf("history to %s (%zu queries, %llu runs)\n",
+                  history->path().c_str(), history->query_count(),
+                  static_cast<unsigned long long>(history->total_runs()));
+      continue;
+    }
     if (command == "rel") {
       std::string name, rows;
       words >> name;
@@ -399,6 +447,10 @@ int main() {
   if (query_log != nullptr &&
       emcalc::obs::GetQueryLog() == query_log.get()) {
     emcalc::obs::SetQueryLog(nullptr);
+  }
+  if (history != nullptr &&
+      emcalc::obs::GetHistoryStore() == history.get()) {
+    emcalc::obs::SetHistoryStore(nullptr);
   }
   return 0;
 }

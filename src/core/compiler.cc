@@ -149,6 +149,7 @@ void LogRunRecord(const std::string& text, bool ok, const std::string& error,
       r.misestimate_factor = feedback.max_factor;
       r.misestimate_op = feedback.worst_op;
     }
+    r.est_history_ops = CountHistoryCorrectedOps(*profile);
     ParallelSummary par = SumParallel(*profile);
     if (par.max_workers > 1) {
       r.parallel_efficiency = par.Efficiency();
@@ -190,19 +191,37 @@ void ObserveRun(const std::string& text, const StatusOr<ResultT>& result,
   RunMetrics& m = RunMetrics::Get();
   m.runs.Add();
   m.wall_ns.Observe(static_cast<double>(wall));
+  // The governor phrases resource errors "<limit_name> exceeded: ..."; the
+  // first token names the tripped limit.
+  std::string aborted_limit;
+  if (!result.ok() &&
+      result.status().code() == StatusCode::kResourceExhausted) {
+    const std::string& msg = result.status().message();
+    aborted_limit = msg.substr(0, msg.find(' '));
+  }
+  if (obs::HistoryStore* store = obs::GetHistoryStore();
+      store != nullptr && profile != nullptr) {
+    obs::RunObservation run =
+        CollectRunObservation(obs::HashQueryText(text), text, *profile);
+    run.ok = result.ok();
+    run.aborted_limit = aborted_limit;
+    run.wall_ns = wall;
+    run.peak_bytes =
+        static_cast<uint64_t>(std::max<int64_t>(profile->total_peak_bytes, 0));
+    if (result.ok()) run.rows_out = result->size();
+    ParallelSummary par = SumParallel(*profile);
+    if (par.max_workers > 1) {
+      run.parallel_efficiency = par.Efficiency();
+      run.par_workers = par.max_workers;
+    }
+    store->RecordRun(run);
+  }
   if (result.ok()) {
     m.rows_out.Add(result->size());
     LogRunRecord(text, true, "", result->size(), wall, exec_threads, profile,
                  "");
   } else {
     m.errors.Add();
-    // The governor phrases resource errors "<limit_name> exceeded: ..."; the
-    // first token names the tripped limit.
-    std::string aborted_limit;
-    if (result.status().code() == StatusCode::kResourceExhausted) {
-      const std::string& msg = result.status().message();
-      aborted_limit = msg.substr(0, msg.find(' '));
-    }
     if (obs::PostmortemEnabled()) {
       // Best-effort bundle: failure to write must not mask the run error.
       obs::PostmortemInfo info;
@@ -252,10 +271,11 @@ StatusOr<Relation> CompiledQuery::Run(const Database& db,
                              owner_->functions(), stats);
     }
     // Profile whenever a consumer exists: the caller's stats, an installed
-    // query log (memory + misestimate fields per run record), or an abort
-    // bundle that would want the partial profile.
+    // query log (memory + misestimate fields per run record), a history
+    // store that records actuals, or an abort bundle that would want the
+    // partial profile.
     profiled = stats != nullptr || obs::GetQueryLog() != nullptr ||
-               obs::PostmortemEnabled();
+               obs::GetHistoryStore() != nullptr || obs::PostmortemEnabled();
     auto result =
         physical_->ExecuteToRelation(db, profiled ? &profile : nullptr);
     if (result.ok() && stats != nullptr) {
@@ -285,8 +305,10 @@ StatusOr<Relation> CompiledQuery::RunWithProfile(const Database& db,
       return physical_->ExecuteToRelation(db, profile);
     }
     // Lowering failed at compile time; redo it here to surface the error.
-    auto physical =
-        Lower(owner_->ctx(), translation_.plan, owner_->functions());
+    ExecOptions exec_options;
+    exec_options.query_hash = obs::HashQueryText(text_);
+    auto physical = Lower(owner_->ctx(), translation_.plan,
+                          owner_->functions(), exec_options);
     if (!physical.ok()) return physical.status();
     return physical->ExecuteToRelation(db, profile);
   };
@@ -472,7 +494,9 @@ StatusOr<CompiledQuery> Compiler::CompileImpl(const Query& q,
   std::shared_ptr<const PhysicalPlan> physical;
   {
     obs::PhaseTimer timer(&profile, "lower", "compile.lower");
-    auto lowered = Lower(*ctx_, translation->plan, functions_);
+    ExecOptions exec_options;
+    exec_options.query_hash = obs::HashQueryText(text);
+    auto lowered = Lower(*ctx_, translation->plan, functions_, exec_options);
     if (lowered.ok()) {
       timer.SetDetail("ops=" + std::to_string(lowered->NumOperators()));
       physical = std::make_shared<const PhysicalPlan>(
@@ -738,7 +762,13 @@ StatusOr<Relation> ParameterizedQuery::RunWithProfile(
   auto answer = [&]() -> StatusOr<Relation> {
     auto plan = PlanFor(args);
     if (!plan.ok()) return plan.status();
-    auto physical = Lower(owner_->ctx(), *plan, owner_->functions());
+    // History keyed on the parameterized text: runs with different
+    // arguments pool into one hash, so corrections are the mean actual
+    // over the argument mix seen so far.
+    ExecOptions exec_options;
+    exec_options.query_hash = obs::HashQueryText(text);
+    auto physical =
+        Lower(owner_->ctx(), *plan, owner_->functions(), exec_options);
     if (!physical.ok()) return physical.status();
     return physical->ExecuteToRelation(db, profile);
   }();

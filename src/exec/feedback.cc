@@ -1,11 +1,25 @@
 #include "src/exec/feedback.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "src/obs/json.h"
 
 namespace emcalc {
+
+double MisestimateFactor(double est_rows, double actual_rows) {
+  double hi = std::max(est_rows, actual_rows);
+  double lo = std::min(est_rows, actual_rows);
+  if (hi <= 0) return 1.0;  // est 0, actual 0: a perfect estimate
+  double f = hi / std::max(lo, 1.0);
+  // An overflowed estimate (inf) or any other non-finite quotient reports
+  // the cap sentinel, never inf/NaN in a ranking or JSON record.
+  if (!std::isfinite(f)) return kMisestimateFactorCap;
+  if (f < 1.0) return 1.0;
+  return std::min(f, kMisestimateFactorCap);
+}
+
 namespace {
 
 std::string FormatRows(double v) {
@@ -29,10 +43,9 @@ void Collect(const ExecProfile& p, PlanFeedback& fb) {
     e.est_rows = p.stats.est_rows;
     e.actual_rows = p.stats.rows_out;
     auto actual = static_cast<double>(e.actual_rows);
-    double hi = std::max(e.est_rows, actual);
-    double lo = std::min(e.est_rows, actual);
-    e.factor = hi / std::max(lo, 1.0);
+    e.factor = MisestimateFactor(e.est_rows, actual);
     e.underestimate = actual > e.est_rows;
+    e.est_history_runs = p.stats.est_history_runs;
     fb.entries.push_back(std::move(e));
   }
   if (!p.shared_ref) {
@@ -68,6 +81,11 @@ std::string PlanFeedback::ToString() const {
     } else {
       out += " (exact)";
     }
+    if (e.est_history_runs > 0) {
+      // Provenance marker only on history-corrected estimates, so
+      // heuristic lines render exactly as before.
+      out += " [history:" + std::to_string(e.est_history_runs) + "]";
+    }
     out += "\n";
   }
   return out;
@@ -87,10 +105,92 @@ std::string PlanFeedback::ToJson() const {
     out += ",\"factor\":" + FormatFactor(e.factor);
     out += ",\"underestimate\":";
     out += e.underestimate ? "true" : "false";
-    out += "}";
+    out += ",\"est_source\":\"";
+    out += e.est_history_runs > 0
+               ? "history:" + std::to_string(e.est_history_runs)
+               : "heuristic";
+    out += "\"}";
   }
   out += "]}";
   return out;
+}
+
+namespace {
+
+// Plan-side DFS mirroring BuildProfile: non-null children in (left, right)
+// order, first visit wins for shared (materialized) subplans.
+void WalkPlanPaths(const PhysicalOp* op, const std::string& path,
+                   std::vector<bool>& visited,
+                   std::vector<std::string>& paths) {
+  auto id = static_cast<size_t>(op->id);
+  if (id >= visited.size() || visited[id]) return;
+  visited[id] = true;
+  paths[id] = path;
+  int child_idx = 0;
+  for (const PhysicalOp* child : {op->left, op->right}) {
+    if (child == nullptr) continue;
+    WalkPlanPaths(child,
+                  path + "/" + std::to_string(child_idx) + ":" +
+                      PhysOpKindName(child->kind),
+                  visited, paths);
+    ++child_idx;
+  }
+}
+
+// Profile-side DFS: children are stored in the same (left, right) order
+// and shared re-visits are shared_ref stubs, so paths line up with
+// WalkPlanPaths by construction.
+void CollectRunOps(const ExecProfile& p, const std::string& path,
+                   std::vector<obs::RunObservation::Op>& ops) {
+  if (p.shared_ref) return;
+  if (p.op != PhysOpKind::kMaterialize && p.stats.est_rows >= 0) {
+    obs::RunObservation::Op op;
+    op.path = path;
+    op.op = PhysOpKindName(p.op);
+    if (!p.detail.empty()) op.op += "(" + p.detail + ")";
+    op.est_rows = p.stats.est_rows;
+    op.actual_rows = p.stats.rows_out;
+    op.factor = MisestimateFactor(p.stats.est_rows,
+                                  static_cast<double>(p.stats.rows_out));
+    ops.push_back(std::move(op));
+  }
+  for (size_t i = 0; i < p.children.size(); ++i) {
+    CollectRunOps(p.children[i],
+                  path + "/" + std::to_string(i) + ":" +
+                      PhysOpKindName(p.children[i].op),
+                  ops);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> PlanOpPaths(const PhysicalPlan& plan) {
+  std::vector<std::string> paths(static_cast<size_t>(plan.NumOperators()));
+  if (plan.root() == nullptr) return paths;
+  std::vector<bool> visited(paths.size(), false);
+  WalkPlanPaths(plan.root(), PhysOpKindName(plan.root()->kind), visited,
+                paths);
+  return paths;
+}
+
+obs::RunObservation CollectRunObservation(uint64_t query_hash,
+                                          const std::string& query_text,
+                                          const ExecProfile& profile) {
+  obs::RunObservation run;
+  run.query_hash = query_hash;
+  run.query = query_text;
+  run.rows_out = profile.stats.rows_out;
+  CollectRunOps(profile, PhysOpKindName(profile.op), run.ops);
+  return run;
+}
+
+size_t CountHistoryCorrectedOps(const ExecProfile& profile) {
+  if (profile.shared_ref) return 0;
+  size_t n = profile.stats.est_history_runs > 0 ? 1 : 0;
+  for (const ExecProfile& c : profile.children) {
+    n += CountHistoryCorrectedOps(c);
+  }
+  return n;
 }
 
 }  // namespace emcalc

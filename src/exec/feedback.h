@@ -13,18 +13,33 @@
 #include <vector>
 
 #include "src/exec/physical.h"
+#include "src/obs/history.h"
 
 namespace emcalc {
+
+// Ceiling for misestimation factors: a wildly wrong (or overflowed)
+// estimate reports this sentinel instead of inf, so rankings and JSON
+// stay finite.
+inline constexpr double kMisestimateFactorCap = 1e9;
+
+// max(est, actual) / max(min(est, actual), 1), floored at 1 and capped at
+// kMisestimateFactorCap. Guarded against est == 0 / actual == 0 (both zero
+// is a perfect estimate → 1.0) and non-finite estimates (→ cap): never
+// divides by zero, never returns inf or NaN.
+double MisestimateFactor(double est_rows, double actual_rows);
 
 // One operator's estimate-vs-actual comparison.
 struct PlanFeedbackEntry {
   std::string op;        // "HashJoin(keys=1)" — kind plus detail
   double est_rows = 0;   // planner estimate
   uint64_t actual_rows = 0;
-  // max(est, actual) / max(min(est, actual), 1): 1.0 is a perfect
-  // estimate, 10.0 is an order of magnitude off in either direction.
+  // MisestimateFactor(est_rows, actual_rows): 1.0 is a perfect estimate,
+  // 10.0 is an order of magnitude off in either direction.
   double factor = 1;
   bool underestimate = false;  // actual exceeded the estimate
+  // Estimate provenance: 0 = static heuristic, > 0 = history-corrected
+  // from this many recorded runs (OpStats::est_history_runs).
+  uint64_t est_history_runs = 0;
 };
 
 // The report: entries sorted by descending factor (ties keep plan order).
@@ -43,6 +58,33 @@ struct PlanFeedback {
 // estimate (est_rows < 0), shared-reference stubs, and Materialize nodes
 // (pure cache plumbing) are skipped.
 PlanFeedback BuildPlanFeedback(const ExecProfile& profile);
+
+// --- History-store keying (src/obs/history.h) ---------------------------
+//
+// Both the plan (at lowering time) and the profile (at recording time)
+// must derive the same stable key for an operator: the path from the root,
+// "KindName" for the root and "<parent>/<child-idx>:KindName" below it,
+// with child 0 = left input and 1 = right input. A node already visited
+// (a shared materialized subplan) is keyed at its first visit only —
+// exactly where BuildProfile puts its stats.
+
+// Operator path for every op in `plan`, indexed by PhysicalOp::id.
+// Ids never reached from the root (shared re-visits keep their first
+// path) map to "".
+std::vector<std::string> PlanOpPaths(const PhysicalPlan& plan);
+
+// Flattens one executed profile into a history observation: fills
+// query_hash, query, rows_out (root), and per-op path/est/actual/factor
+// samples (same skip rules as BuildPlanFeedback). Run-level outcome
+// fields (ok, aborted_limit, wall_ns, peak_bytes, parallel efficiency)
+// are left for the caller.
+obs::RunObservation CollectRunObservation(uint64_t query_hash,
+                                          const std::string& query_text,
+                                          const ExecProfile& profile);
+
+// Number of operators in `profile` whose estimate was history-corrected
+// (est_history_runs > 0; shared-reference stubs excluded).
+size_t CountHistoryCorrectedOps(const ExecProfile& profile);
 
 }  // namespace emcalc
 

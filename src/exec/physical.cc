@@ -244,6 +244,13 @@ Value ExecContext::EvalExpr(const ScalarExpr* e, const TupleView& view,
 double ExecContext::EstimateRows(const PhysicalOp* op) {
   double& slot = est[static_cast<size_t>(op->id)];
   if (slot >= 0) return slot;
+  if (op->hist_est_rows >= 0) {
+    // History-corrected estimate from past runs of this exact query
+    // (installed by Lower() via the history store); trust it over the
+    // static heuristic.
+    slot = op->hist_est_rows;
+    return slot;
+  }
   slot = 0;  // break cycles (plans are DAGs, but be safe)
   double e = 0;
   switch (op->kind) {
@@ -297,6 +304,9 @@ double ExecContext::EstimateRows(const PhysicalOp* op) {
       e = op->unit ? 1 : 0;
       break;
   }
+  // Chained join estimates can overflow to inf, which would render as
+  // "inf" in the profile JSON (invalid); clamp to the AdomScan ceiling.
+  e = std::min(e, 1e18);
   slot = e;
   return e;
 }
@@ -1011,9 +1021,15 @@ void RenderProfile(const ExecProfile& p, int depth, std::string& out) {
   out += " rows_in=" + std::to_string(p.stats.rows_in);
   out += " rows_out=" + std::to_string(p.stats.rows_out);
   if (p.stats.est_rows >= 0) {
-    char est_buf[32];
-    std::snprintf(est_buf, sizeof(est_buf), " est_rows=%.0f",
-                  p.stats.est_rows);
+    char est_buf[64];
+    if (p.stats.est_history_runs > 0) {
+      std::snprintf(est_buf, sizeof(est_buf),
+                    " est_rows=%.0f [history:%llu]", p.stats.est_rows,
+                    static_cast<unsigned long long>(p.stats.est_history_runs));
+    } else {
+      std::snprintf(est_buf, sizeof(est_buf), " est_rows=%.0f",
+                    p.stats.est_rows);
+    }
     out += est_buf;
   }
   if (p.op == PhysOpKind::kHashJoin) {
@@ -1132,6 +1148,7 @@ void ProfileJson(const ExecProfile& p, std::string& out) {
   std::snprintf(est_buf, sizeof(est_buf), "%.17g", s.est_rows);
   out += ",\"est_rows\":";
   out += est_buf;
+  out += ",\"est_history_runs\":" + std::to_string(s.est_history_runs);
   out += ",\"bytes_allocated\":" + std::to_string(s.bytes_allocated);
   out += ",\"peak_bytes\":" + std::to_string(s.peak_bytes);
   out += ",\"par_wall_ns\":" + std::to_string(s.par_wall_ns);
@@ -1191,6 +1208,8 @@ StatusOr<ExecProfile> ProfileFromJsonValue(const obs::JsonValue& v) {
     s.cache_hits = static_cast<uint64_t>(st->NumberOr("cache_hits", 0));
     s.wall_ns = static_cast<uint64_t>(st->NumberOr("wall_ns", 0));
     s.est_rows = st->NumberOr("est_rows", -1);
+    s.est_history_runs =
+        static_cast<uint64_t>(st->NumberOr("est_history_runs", 0));
     s.bytes_allocated =
         static_cast<uint64_t>(st->NumberOr("bytes_allocated", 0));
     s.peak_bytes = static_cast<int64_t>(st->NumberOr("peak_bytes", 0));
@@ -1262,6 +1281,8 @@ StatusOr<PhysicalPlan::Result> PhysicalPlan::Execute(
   // (a tripped governor still reports the partial work).
   for (size_t i = 0; i < ops_.size(); ++i) {
     exec.stats[i].est_rows = exec.est[i];
+    exec.stats[i].est_history_runs =
+        ops_[i]->hist_est_rows >= 0 ? ops_[i]->hist_runs : 0;
     exec.stats[i].bytes_allocated = exec.qmem.OpBytesAllocated(i);
     exec.stats[i].peak_bytes = exec.qmem.OpPeakBytes(i);
   }

@@ -77,6 +77,9 @@ struct OpStats {
   uint64_t cache_hits = 0;     // Materialize results served from cache
   uint64_t wall_ns = 0;        // inclusive wall time (children included)
   double est_rows = -1;        // planner cardinality estimate; -1 = none
+  // When > 0 the estimate came from the history store (src/obs/history.h)
+  // and is the mean actual over this many recorded runs; 0 = heuristic.
+  uint64_t est_history_runs = 0;
   uint64_t bytes_allocated = 0;  // tracked bytes allocated under this op
   int64_t peak_bytes = 0;        // high-water tracked bytes under this op
   // Contention telemetry folded from the operator's parallel regions
@@ -180,6 +183,10 @@ struct ExecOptions {
   // with kResourceExhausted naming the limit; the partial profile is
   // still filled in.
   obs::ResourceLimits limits;
+  // FNV-1a hash of the query text (obs::HashQueryText); keys this plan's
+  // runs in the history store so Lower() can correct estimates from past
+  // actuals. 0 disables history lookup for this plan.
+  uint64_t query_hash = 0;
 };
 
 // A physical operator node. Like AlgExpr this is a tagged struct consumed
@@ -229,6 +236,13 @@ struct PhysicalOp {
   // plan edges that reference this node.
   int memo_slot = -1;
   int consumers = 0;
+
+  // History-corrected cardinality estimate, set by Lower() when the
+  // history store has actuals for (options.query_hash, this op's path).
+  // ExecContext::EstimateRows prefers it over the static heuristic;
+  // hist_runs is the number of runs behind the correction.
+  double hist_est_rows = -1;
+  uint64_t hist_runs = 0;
 };
 
 // An executable physical plan: the lowered operator DAG plus everything

@@ -54,6 +54,9 @@ std::string QueryLogRecordToJson(const QueryLogRecord& r) {
       out += buf;
       out += ",\"misestimate_op\":\"" + JsonEscape(r.misestimate_op) + "\"";
     }
+    if (r.est_history_ops > 0) {
+      out += ",\"est_history_ops\":" + std::to_string(r.est_history_ops);
+    }
     if (r.par_workers > 0) {
       char buf[40];
       std::snprintf(buf, sizeof(buf), "%.3f", r.parallel_efficiency);
@@ -113,6 +116,8 @@ StatusOr<QueryLogRecord> ParseQueryLogRecord(std::string_view line) {
   r.aborted_limit = json->StringOr("aborted_limit", "");
   r.misestimate_factor = json->NumberOr("misestimate_factor", 0);
   r.misestimate_op = json->StringOr("misestimate_op", "");
+  r.est_history_ops =
+      static_cast<uint64_t>(json->NumberOr("est_history_ops", 0));
   r.parallel_efficiency = json->NumberOr("parallel_efficiency", 0);
   r.par_workers = static_cast<uint64_t>(json->NumberOr("par_workers", 0));
   if (const JsonValue* diags = json->Find("diagnostics");

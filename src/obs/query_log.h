@@ -60,6 +60,9 @@ struct QueryLogRecord {
   // means no feedback was computed.
   double misestimate_factor = 0;
   std::string misestimate_op;
+  // Operators whose estimate was corrected from the history store
+  // ("run" records); 0 when every estimate was heuristic.
+  uint64_t est_history_ops = 0;
   // Contention telemetry ("run" records): aggregate parallel efficiency
   // busy/(wall*workers) over the plan's parallel regions, in [0,1], and the
   // largest worker count any operator used. 0 when nothing ran in parallel.

@@ -1,12 +1,18 @@
 // Tests for the offline analyzer library behind emcalc-inspect
 // (src/obs/inspect.h): golden output over the checked-in sample query log,
-// aggregate correctness over a generated 1000-record log, and the bundle /
-// Chrome-trace renderers.
+// aggregate correctness over a generated 1000-record log, rotation-aware
+// log reading, the history-store digest and diff renderers, and the
+// bundle / Chrome-trace renderers.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "src/obs/history.h"
 #include "src/obs/inspect.h"
 #include "src/obs/json.h"
 #include "src/obs/query_log.h"
@@ -123,6 +129,150 @@ TEST(InspectGeneratedLogTest, AbortCountsAreExact) {
   EXPECT_NE(out.find("  max_bytes: 10\n    e.g. q0\n"), std::string::npos)
       << out;
   EXPECT_NE(out.find("errors (non-governor): 4"), std::string::npos) << out;
+}
+
+// A fresh directory under the test tmpdir; removed at scope exit.
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& tag) {
+    path_ = ::testing::TempDir() + "emcalc_" + tag + "_" +
+            std::to_string(::getpid());
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~ScopedTempDir() { std::filesystem::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string RunLine(const std::string& query, uint64_t wall_ns) {
+  obs::QueryLogRecord r;
+  r.event = "run";
+  r.query = query;
+  r.query_hash = obs::HashQueryText(query);
+  r.wall_ns = wall_ns;
+  return obs::QueryLogRecordToJson(r) + "\n";
+}
+
+TEST(InspectRotationTest, ReadsRotatedSegmentOldestFirst) {
+  ScopedTempDir dir("rotation");
+  std::string log = dir.path() + "/query_log.jsonl";
+  // The rotated `.1` segment holds the older records (plus one line a
+  // crash clipped); the live file holds the newest.
+  {
+    std::ofstream rotated(log + ".1");
+    rotated << RunLine("q_oldest", 1000) << RunLine("q_older", 2000)
+            << "{\"event\":\"run\",\"que";
+    std::ofstream live(log);
+    live << RunLine("q_newest", 3000);
+  }
+  auto scan = obs::ReadQueryLogWithRotation(log);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  ASSERT_EQ(scan->records.size(), 3u);
+  EXPECT_EQ(scan->records[0].query, "q_oldest");
+  EXPECT_EQ(scan->records[1].query, "q_older");
+  EXPECT_EQ(scan->records[2].query, "q_newest");
+  EXPECT_EQ(scan->bad_lines, 1u);  // summed across both segments
+}
+
+TEST(InspectRotationTest, NoRotatedSegmentReadsLiveFileOnly) {
+  ScopedTempDir dir("rotation_live");
+  std::string log = dir.path() + "/query_log.jsonl";
+  {
+    std::ofstream live(log);
+    live << RunLine("q_only", 500);
+  }
+  auto scan = obs::ReadQueryLogWithRotation(log);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  ASSERT_EQ(scan->records.size(), 1u);
+  EXPECT_EQ(scan->records[0].query, "q_only");
+  // A missing live file is an error even if a `.1` segment existed.
+  EXPECT_FALSE(
+      obs::ReadQueryLogWithRotation(dir.path() + "/no_such_log").ok());
+}
+
+// Builds one aggregated query entry by folding synthetic runs, the same
+// code path recording and loading use.
+obs::QueryHistory HistoryEntry(uint64_t hash, const std::string& query,
+                               std::vector<uint64_t> walls, double factor,
+                               uint64_t aborts = 0) {
+  obs::QueryHistory h;
+  for (size_t i = 0; i < walls.size(); ++i) {
+    obs::RunObservation run;
+    run.query_hash = hash;
+    run.query = query;
+    run.wall_ns = walls[i];
+    run.rows_out = 10;
+    if (aborts > i) {
+      run.ok = false;
+      run.aborted_limit = "max_bytes";
+    }
+    obs::RunObservation::Op op;
+    op.path = "Scan";
+    op.op = "Scan(R)";
+    op.est_rows = 10;
+    op.actual_rows = static_cast<uint64_t>(10 * factor);
+    op.factor = factor;
+    run.ops.push_back(op);
+    obs::FoldRunObservation(h, run);
+  }
+  return h;
+}
+
+obs::HistoryScan TwoQueryScan() {
+  obs::HistoryScan scan;
+  // Hash 3: badly misestimated, slow, and regressing (newest wall is 4x
+  // its own mean). Hash 5: healthy.
+  scan.entries.push_back(
+      HistoryEntry(3, "{x | Bad(x)}", {100000, 100000, 600000}, 8.0,
+                   /*aborts=*/1));
+  scan.entries.push_back(
+      HistoryEntry(5, "{x | Good(x)}", {50000, 50000, 50000}, 1.0));
+  scan.total_runs = 6;
+  return scan;
+}
+
+TEST(InspectHistoryTest, RenderHistoryListsWorstSlowestAndRegressed) {
+  std::string out = obs::RenderHistory(TwoQueryScan(), 10);
+  EXPECT_NE(out.find("history: 2 queries, 6 runs"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("failures: aborts=1 errors=0"), std::string::npos)
+      << out;
+  // Worst misestimation leads, and the healthy query follows.
+  size_t bad = out.find("worst=8.0x");
+  size_t good = out.find("worst=1.0x");
+  ASSERT_NE(bad, std::string::npos) << out;
+  ASSERT_NE(good, std::string::npos) << out;
+  EXPECT_LT(bad, good);
+  EXPECT_NE(out.find("{x | Bad(x)}"), std::string::npos) << out;
+  // Hash 3's newest run is well above its mean, so it is regressed; the
+  // trend sparkline marks the jump.
+  EXPECT_NE(out.find("regressed"), std::string::npos) << out;
+  EXPECT_NE(out.find("trend="), std::string::npos) << out;
+}
+
+TEST(InspectHistoryTest, RenderHistoryDiffFlagsGrownQueries) {
+  obs::HistoryScan base = TwoQueryScan();
+  obs::HistoryScan cur;
+  // Hash 3 doubled its mean wall time; hash 5 is unchanged; hash 7 is new.
+  cur.entries.push_back(
+      HistoryEntry(3, "{x | Bad(x)}", {500000, 500000, 600000}, 8.0));
+  cur.entries.push_back(
+      HistoryEntry(5, "{x | Good(x)}", {50000, 50000, 50000}, 1.0));
+  cur.entries.push_back(HistoryEntry(7, "{x | New(x)}", {1000}, 1.0));
+  cur.total_runs = 7;
+
+  std::string out = obs::RenderHistoryDiff(base, cur, 1.5);
+  EXPECT_NE(out.find("2 matched, 1 new, 0 gone"), std::string::npos) << out;
+  EXPECT_NE(out.find("{x | Bad(x)}"), std::string::npos) << out;
+  // The healthy query must not be flagged.
+  EXPECT_EQ(out.find("{x | Good(x)}"), std::string::npos) << out;
+
+  // With a threshold above the worst growth, nothing is flagged.
+  std::string quiet = obs::RenderHistoryDiff(base, cur, 10.0);
+  EXPECT_EQ(quiet.find("{x | Bad(x)}"), std::string::npos) << quiet;
 }
 
 TEST(InspectBundleTest, ParsesRendersAndConvertsToChromeTrace) {
